@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one table/figure/number of the paper's
+evaluation (see DESIGN.md section 4 for the experiment index).  The
+benchmarks *assert* the shape claims -- who wins, by roughly what factor
+-- and attach the measured values as ``benchmark.extra_info`` so the raw
+numbers land in the pytest-benchmark report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PartialInstallSpec, PartialInstance, as_key
+from repro.library import (
+    standard_drivers,
+    standard_infrastructure,
+    standard_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return standard_registry()
+
+
+@pytest.fixture
+def infrastructure():
+    return standard_infrastructure()
+
+
+@pytest.fixture
+def drivers():
+    return standard_drivers()
+
+
+@pytest.fixture
+def openmrs_partial():
+    return PartialInstallSpec(
+        [
+            PartialInstance(
+                "server",
+                as_key("Mac-OSX 10.6"),
+                config={"hostname": "demotest", "os_user_name": "root"},
+            ),
+            PartialInstance(
+                "tomcat", as_key("Tomcat 6.0.18"), inside_id="server"
+            ),
+            PartialInstance(
+                "openmrs", as_key("OpenMRS 1.8"), inside_id="tomcat"
+            ),
+        ]
+    )

@@ -1,0 +1,165 @@
+"""E1/E2/E3 -- the S2 OpenMRS numbers.
+
+Paper: "the (unsimplified) OpenMRS partial installation specification
+took 22 lines, and the full installation specification was 204 lines"
+(~9x compaction); the constraint set of S2 (3 facts, the {jdk, jre}
+exactly-one, 5 inside implications) solved by MiniSat with jdk/jre
+mutually exclusive; and the Figure 5 hypergraph (6 instances).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    ConfigurationEngine,
+    generate_constraints,
+    generate_graph,
+)
+from repro.core.resource_type import DependencyKind
+from repro.dsl import full_to_json, line_count, partial_to_json
+from repro.sat import CdclSolver
+
+
+def test_e1_spec_compaction(benchmark, registry, openmrs_partial):
+    """E1: partial -> full line counts and the compaction ratio."""
+    engine = ConfigurationEngine(registry)
+    result = benchmark(engine.configure, openmrs_partial)
+
+    partial_lines = line_count(partial_to_json(openmrs_partial))
+    full_lines = line_count(full_to_json(result.spec))
+    ratio = full_lines / partial_lines
+
+    benchmark.extra_info.update(
+        {
+            "paper_partial_lines": 22,
+            "paper_full_lines": 204,
+            "paper_ratio": round(204 / 22, 1),
+            "measured_partial_lines": partial_lines,
+            "measured_full_lines": full_lines,
+            "measured_ratio": round(ratio, 1),
+            "instances": len(result.spec),
+        }
+    )
+    # Shape: the full spec is roughly an order of magnitude larger.
+    assert ratio > 4
+    assert len(result.spec) == 5  # server, tomcat, openmrs, mysql, one java
+
+
+def test_e2_constraint_set(benchmark, registry, openmrs_partial):
+    """E2: the S2 Boolean constraints and their solution."""
+    graph = generate_graph(registry, openmrs_partial)
+
+    def build_and_solve():
+        formula, stats = generate_constraints(graph)
+        solver = CdclSolver(formula)
+        assert solver.solve()
+        return formula, stats, solver
+
+    formula, stats, solver = benchmark(build_and_solve)
+    model = {
+        str(name): value
+        for name, value in formula.decode_model(solver.model()).items()
+    }
+
+    benchmark.extra_info.update(
+        {
+            "facts": stats.facts,
+            "hyperedges": stats.hyperedges,
+            "variables": stats.variables,
+            "clauses": stats.clauses,
+            "model": {k: v for k, v in sorted(model.items())},
+        }
+    )
+    # The S2 constraint census: 3 facts from the partial spec; 5 inside
+    # dependencies; 2 env hyperedges over {jdk, jre}; 1 peer implication.
+    assert stats.facts == 3
+    assert stats.hyperedges == 8
+    # The paper's solution sets server/tomcat/openmrs/mysql true and
+    # exactly one of {jdk, jre}.
+    for instance_id in ("server", "tomcat", "openmrs", "mysql"):
+        assert model[instance_id] is True
+    assert model["jdk"] != model["jre"]
+
+
+def test_figure1_resource_types(benchmark, registry):
+    """Figure 1: the resource types relevant to the OpenMRS install,
+    regenerated as DSL text.  The figure's structure -- Server over two
+    OS subtypes, Java over JDK/JRE, Tomcat inside Server with a Java env
+    dep, OpenMRS inside Tomcat with Java env + MySQL peer -- is asserted
+    on the rendered module."""
+    from repro.core import as_key
+    from repro.dsl import format_module
+
+    figure1_keys = [
+        "Server", "Mac-OSX 10.6", "Windows-XP 5.1",
+        "Java", "JDK 1.6", "JRE 1.6",
+        "Tomcat 6.0.18", "MySQL 5.1", "OpenMRS 1.8",
+    ]
+
+    def render():
+        return format_module(
+            [registry.raw(as_key(key)) for key in figure1_keys]
+        )
+
+    text = benchmark(render)
+    benchmark.extra_info["figure1_lines"] = len(text.splitlines())
+
+    assert 'abstract resource "Server"' in text
+    assert 'resource "Mac-OSX" 10.6 extends "Server"' in text
+    assert 'abstract resource "Java"' in text
+    assert 'resource "JDK" 1.6 extends "Java"' in text
+    assert 'resource "JRE" 1.6 extends "Java"' in text
+    # Tomcat: inside Server, env Java.  (Blocks end at a line-initial
+    # closing brace; inline mapping braces don't terminate them.)
+    tomcat_block = text.split('resource "Tomcat" 6.0.18')[1].split("\n}")[0]
+    assert 'inside "Server"' in tomcat_block
+    assert 'env "Java"' in tomcat_block
+    # OpenMRS: inside Tomcat (either version), env Java, peer MySQL.
+    openmrs_block = text.split('resource "OpenMRS" 1.8')[1].split("\n}")[0]
+    assert 'inside "Tomcat" 5.5 | "Tomcat" 6.0.18' in openmrs_block
+    assert 'env "Java"' in openmrs_block
+    assert 'peer "MySQL" 5.1' in openmrs_block
+
+
+def test_e3_figure5_hypergraph(benchmark, registry, openmrs_partial):
+    """E3: the Figure 5 hypergraph structure."""
+    graph = benchmark(generate_graph, registry, openmrs_partial)
+
+    nodes = {n.instance_id for n in graph.nodes()}
+    inside_edges = sorted(
+        (e.source_id, e.targets[0])
+        for e in graph.edges()
+        if e.kind == DependencyKind.INSIDE
+    )
+    env_edges = sorted(
+        (e.source_id, tuple(sorted(e.targets)))
+        for e in graph.edges()
+        if e.kind == DependencyKind.ENVIRONMENT
+    )
+    peer_edges = sorted(
+        (e.source_id, tuple(sorted(e.targets)))
+        for e in graph.edges()
+        if e.kind == DependencyKind.PEER
+    )
+    benchmark.extra_info.update(
+        {
+            "nodes": sorted(nodes),
+            "inside_edges": inside_edges,
+            "env_edges": env_edges,
+            "peer_edges": peer_edges,
+        }
+    )
+    assert nodes == {"server", "tomcat", "openmrs", "jdk", "jre", "mysql"}
+    assert inside_edges == [
+        ("jdk", "server"),
+        ("jre", "server"),
+        ("mysql", "server"),
+        ("openmrs", "tomcat"),
+        ("tomcat", "server"),
+    ]
+    assert env_edges == [
+        ("openmrs", ("jdk", "jre")),
+        ("tomcat", ("jdk", "jre")),
+    ]
+    assert peer_edges == [("openmrs", ("mysql",))]

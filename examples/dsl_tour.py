@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""A tour of the resource definition language (S3).
+
+Define a small application stack in DSL text -- abstract types,
+subtyping, version ranges, disjunctions, static reverse mappings --
+lower it, check well-formedness, and configure a deployment from a
+Figure 2 style JSON partial specification.
+
+Run:  python examples/dsl_tour.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ConfigurationEngine,
+    ResourceTypeRegistry,
+    check_registry,
+    format_module,
+    load_resources,
+    partial_from_json,
+)
+
+STACK_DSL = '''
+# Machines ------------------------------------------------------------
+abstract resource "Server" driver "machine" {
+  config hostname: hostname = "localhost"
+  config os_user_name: string = "root"
+  output host: { hostname: hostname, os_user_name: string } =
+    { hostname = config.hostname, os_user_name = config.os_user_name }
+}
+
+resource "Shop-Linux" 1.0 extends "Server" {}
+
+# A queue with two interchangeable versions ---------------------------
+abstract resource "Queue" driver "service" {
+  inside "Server" { host -> host }
+  input host: { hostname: hostname, os_user_name: string }
+  config port: tcp_port = 5672
+  output queue: { host: hostname, port: tcp_port }
+}
+
+resource "FastQueue" 1.2 extends "Queue" {
+  output queue: { host: hostname, port: tcp_port } =
+    { host = input.host.hostname, port = config.port }
+}
+
+resource "FastQueue" 2.0 extends "Queue" {
+  output queue: { host: hostname, port: tcp_port } =
+    { host = input.host.hostname, port = config.port }
+}
+
+# The application: version-range dependency + format expression --------
+resource "OrderService" 1.0 driver "service" {
+  inside "Server" { host -> host }
+  peer "FastQueue" [1.0, 2.0) { queue -> queue }   # pins the 1.x line
+  input host: { hostname: hostname, os_user_name: string }
+  input queue: { host: hostname, port: tcp_port }
+  config port: tcp_port = 9000
+  output url: string =
+    format("http://{h}:{p}/orders", h = input.host.hostname,
+           p = config.port)
+}
+'''
+
+PARTIAL_JSON = """
+[
+  { "id": "box", "key": "Shop-Linux 1.0",
+    "config_port": { "hostname": "shop-1" } },
+  { "id": "orders", "key": "OrderService 1.0", "inside": { "id": "box" } }
+]
+"""
+
+
+def main() -> None:
+    registry = ResourceTypeRegistry()
+    types = load_resources(STACK_DSL, registry)
+    print(f"parsed and lowered {len(types)} resource types")
+    problems = check_registry(registry)
+    print(f"well-formedness problems: {problems or 'none'}")
+
+    # The version range [1.0, 2.0) lowered to a concrete disjunction:
+    orders = registry.effective(types[-1].key)
+    print("OrderService peer targets:",
+          [str(alt.key) for alt in orders.peers[0].alternatives])
+
+    partial = partial_from_json(PARTIAL_JSON)
+    result = ConfigurationEngine(registry).configure(partial)
+    print("\ndeployed instances:", sorted(result.deployed_ids))
+    print("order service URL :", result.spec["orders"].outputs["url"])
+    queue_id = next(
+        i.id for i in result.spec if i.key.name == "FastQueue"
+    )
+    print("queue chosen      :", result.spec[queue_id].key)
+
+    print("\n--- the library, pretty-printed back to DSL ---")
+    print(format_module(types[:2]))
+
+
+if __name__ == "__main__":
+    main()

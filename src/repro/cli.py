@@ -1,0 +1,498 @@
+"""The ``engage-sim`` command-line interface.
+
+The paper's Engage was a command-line deployment tool; this module is
+the reproduction's equivalent, driving the whole pipeline from files:
+
+* ``check``      parse DSL files, run well-formedness and report;
+* ``configure``  expand a JSON partial spec to a full spec;
+* ``graph``      print the dependency hypergraph (Figure 5 style);
+* ``explain``    diagnose an unsatisfiable partial spec;
+* ``deploy``     configure and run a simulated deployment.
+
+Every command accepts ``--types FILE ...`` to load DSL resource files;
+by default the built-in standard library is preloaded (disable with
+``--no-stdlib``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence, TextIO
+
+from repro.core import ResourceTypeRegistry, check_registry
+from repro.core.errors import EngageError
+from repro.config import (
+    ConfigurationEngine,
+    explain_message,
+    generate_graph,
+)
+from repro.dsl import (
+    full_to_json,
+    line_count,
+    load_resources,
+    partial_from_json,
+    partial_to_json,
+)
+from repro.library import (
+    ensure_artifact,
+    standard_drivers,
+    standard_infrastructure,
+    standard_registry,
+)
+from repro.runtime import DeploymentEngine, provision_partial_spec
+
+
+def _build_registry(args) -> ResourceTypeRegistry:
+    registry = (
+        ResourceTypeRegistry() if args.no_stdlib else standard_registry()
+    )
+    for path in args.types or ():
+        with open(path, "r", encoding="utf-8") as handle:
+            load_resources(handle.read(), registry)
+    return registry
+
+
+def _read_partial(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return partial_from_json(handle.read())
+
+
+def cmd_check(args, out: TextIO) -> int:
+    registry = _build_registry(args)
+    problems = check_registry(registry)
+    out.write(f"{len(registry)} resource types loaded\n")
+    if problems:
+        out.write("well-formedness problems:\n")
+        for problem in problems:
+            out.write(f"  {problem}\n")
+        return 1
+    out.write("well-formed.\n")
+    return 0
+
+
+def cmd_configure(args, out: TextIO) -> int:
+    registry = _build_registry(args)
+    partial = _read_partial(args.partial)
+    engine = ConfigurationEngine(registry, verify_registry=not args.no_verify)
+    result = engine.configure(partial)
+    text = full_to_json(result.spec)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        out.write(
+            f"wrote {len(result.spec)} instances "
+            f"({line_count(text)} lines) to {args.output}\n"
+        )
+    else:
+        out.write(text)
+    return 0
+
+
+def cmd_graph(args, out: TextIO) -> int:
+    registry = _build_registry(args)
+    partial = _read_partial(args.partial)
+    graph = generate_graph(registry, partial)
+    if getattr(args, "dot", False):
+        from repro.dsl import graph_to_dot
+
+        out.write(graph_to_dot(graph))
+        return 0
+    out.write(f"{len(graph)} instance nodes:\n")
+    for node in graph.nodes():
+        marker = " *" if node.from_partial else ""
+        out.write(f"  {node.instance_id}: {node.key}{marker}\n")
+    out.write(f"{len(graph.edges())} hyperedges:\n")
+    for edge in graph.edges():
+        out.write(f"  {edge}\n")
+    return 0
+
+
+def cmd_explain(args, out: TextIO) -> int:
+    registry = _build_registry(args)
+    partial = _read_partial(args.partial)
+    message = explain_message(registry, partial)
+    if message is None:
+        out.write("satisfiable: a full installation specification exists.\n")
+        return 0
+    out.write(message + "\n")
+    return 1
+
+
+def _ordered_types(registry: ResourceTypeRegistry) -> list:
+    """Raw types ordered so supertypes precede subtypes (reloadable)."""
+    emitted: list = []
+    done: set = set()
+    pending = [registry.raw(key) for key in registry.keys()]
+    while pending:
+        progressed = False
+        remaining = []
+        for resource_type in pending:
+            if resource_type.extends is None or resource_type.extends in done:
+                emitted.append(resource_type)
+                done.add(resource_type.key)
+                progressed = True
+            else:
+                remaining.append(resource_type)
+        pending = remaining
+        if not progressed:  # extends chain outside the registry
+            emitted.extend(pending)
+            break
+    return emitted
+
+
+def cmd_render(args, out: TextIO) -> int:
+    """Pretty-print every loaded resource type back to DSL text."""
+    from repro.dsl import format_module
+
+    registry = _build_registry(args)
+    out.write(format_module(_ordered_types(registry)))
+    return 0
+
+
+def cmd_dimacs(args, out: TextIO) -> int:
+    """Emit the generated Boolean constraints in DIMACS CNF."""
+    from repro.config import generate_constraints
+    from repro.sat import dimacs_text
+
+    registry = _build_registry(args)
+    partial = _read_partial(args.partial)
+    graph = generate_graph(registry, partial)
+    formula, stats = generate_constraints(graph)
+    out.write(dimacs_text(formula))
+    out.write(
+        f"c {stats.variables} vars, {stats.clauses} clauses, "
+        f"{stats.facts} facts, {stats.hyperedges} hyperedges\n"
+    )
+    return 0
+
+
+BUNDLE_FORMAT = "engage-bundle-1"
+
+
+def _save_bundle(path: str, registry, infrastructure, system) -> None:
+    """Persist world + deployment state + resource types in one file."""
+    import json
+
+    from repro.dsl import format_module
+    from repro.runtime import save_system
+    from repro.sim import save_world
+
+    bundle = {
+        "format": BUNDLE_FORMAT,
+        "types": format_module(_ordered_types(registry)),
+        "world": json.loads(save_world(infrastructure)),
+        "state": json.loads(save_system(system)),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(bundle, handle, indent=1)
+        handle.write("\n")
+
+
+def _load_bundle(path: str):
+    """Rebuild (registry, infrastructure, drivers, system) from a bundle."""
+    import json
+
+    from repro.core.errors import RuntimeEngageError
+    from repro.runtime import load_system
+    from repro.sim import load_world
+
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            bundle = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise RuntimeEngageError(f"malformed bundle: {exc}") from exc
+    if not isinstance(bundle, dict) or bundle.get("format") != BUNDLE_FORMAT:
+        found = bundle.get("format") if isinstance(bundle, dict) else bundle
+        raise RuntimeEngageError(f"unsupported bundle format: {found!r}")
+    registry = ResourceTypeRegistry()
+    load_resources(bundle["types"], registry)
+    infrastructure = load_world(json.dumps(bundle["world"]))
+    drivers = standard_drivers()
+    drivers.set_fallback("service")
+    system = load_system(
+        registry, infrastructure, drivers, json.dumps(bundle["state"])
+    )
+    return registry, infrastructure, drivers, system
+
+
+def cmd_status(args, out: TextIO) -> int:
+    _, infrastructure, _, system = _load_bundle(args.bundle)
+    out.write(system.describe() + "\n")
+    out.write(
+        f"simulated clock: {infrastructure.clock.now / 60:.1f} minutes\n"
+    )
+    return 0 if system.is_deployed() else 1
+
+
+def cmd_stop(args, out: TextIO) -> int:
+    registry, infrastructure, drivers, system = _load_bundle(args.bundle)
+    DeploymentEngine(registry, infrastructure, drivers).shutdown(system)
+    _save_bundle(args.bundle, registry, infrastructure, system)
+    out.write("stopped; bundle updated.\n")
+    return 0
+
+
+def cmd_start(args, out: TextIO) -> int:
+    registry, infrastructure, drivers, system = _load_bundle(args.bundle)
+    DeploymentEngine(registry, infrastructure, drivers).start(system)
+    _save_bundle(args.bundle, registry, infrastructure, system)
+    out.write("started; bundle updated.\n")
+    return 0 if system.is_deployed() else 1
+
+
+def cmd_upgrade(args, out: TextIO) -> int:
+    """Upgrade a saved deployment to a new partial specification."""
+    from repro.runtime import UpgradeEngine
+
+    from repro.dsl import lower_module, parse_module
+
+    registry, infrastructure, drivers, system = _load_bundle(args.bundle)
+    for path in args.types or ():
+        with open(path, "r", encoding="utf-8") as handle:
+            # Skip types the bundle already carries (same key).
+            for resource_type in lower_module(
+                parse_module(handle.read()), registry
+            ):
+                if not registry.has(resource_type.key):
+                    registry.register(resource_type)
+    _publish_missing_artifacts(registry, infrastructure)
+    partial = _read_partial(args.partial)
+    partial = provision_partial_spec(registry, partial, infrastructure)
+    config_engine = ConfigurationEngine(registry, verify_registry=False)
+    deploy_engine = DeploymentEngine(registry, infrastructure, drivers)
+    upgrader = UpgradeEngine(config_engine, deploy_engine)
+    result = upgrader.upgrade(system, partial, strategy=args.strategy)
+    if result.succeeded:
+        out.write(
+            f"upgrade succeeded ({args.strategy}); "
+            f"changed: {result.diff.upgraded + result.diff.reconfigured}, "
+            f"added: {result.diff.added}, removed: {result.diff.removed}\n"
+        )
+    else:
+        out.write(
+            f"upgrade FAILED and was rolled back: {result.error}\n"
+        )
+    _save_bundle(args.bundle, registry, infrastructure, result.system)
+    out.write("bundle updated.\n")
+    return 0 if result.succeeded else 1
+
+
+def cmd_inject_fault(args, out: TextIO) -> int:
+    """Fail a running service process (testing/chaos helper)."""
+    registry, infrastructure, drivers, system = _load_bundle(args.bundle)
+    driver = system.drivers.get(args.instance)
+    if driver is None:
+        out.write(f"error: no instance {args.instance!r}\n")
+        return 2
+    process = getattr(driver, "process", None)
+    if process is None or not process.is_running():
+        out.write(f"error: {args.instance!r} has no running process\n")
+        return 2
+    process.fail()
+    _save_bundle(args.bundle, registry, infrastructure, system)
+    out.write(f"failed process {process.name!r}; bundle updated.\n")
+    return 0
+
+
+def cmd_watch(args, out: TextIO) -> int:
+    """One monitoring pass: restart every failed service (monit)."""
+    from repro.runtime import ProcessMonitor
+
+    registry, infrastructure, drivers, system = _load_bundle(args.bundle)
+    monitor = ProcessMonitor(system)
+    events = monitor.poll()
+    for event in events:
+        out.write(
+            f"restarted {event.process_name} (instance "
+            f"{event.instance_id})\n"
+        )
+    if not events:
+        out.write("all services healthy.\n")
+    _save_bundle(args.bundle, registry, infrastructure, system)
+    return 0
+
+
+def _publish_missing_artifacts(registry, infrastructure) -> None:
+    from repro.drivers import package_slug
+
+    for key in registry.keys():
+        resource_type = registry.effective(key)
+        if not resource_type.abstract and not resource_type.is_machine():
+            ensure_artifact(
+                infrastructure, package_slug(key.name), str(key.version)
+            )
+
+
+def cmd_deploy(args, out: TextIO) -> int:
+    registry = _build_registry(args)
+    partial = _read_partial(args.partial)
+    infrastructure = standard_infrastructure()
+    # Make sure DSL-defined packages have downloadable artifacts.
+    _publish_missing_artifacts(registry, infrastructure)
+    drivers = standard_drivers()
+    drivers.set_fallback("service")
+
+    partial = provision_partial_spec(registry, partial, infrastructure)
+    engine = ConfigurationEngine(registry, verify_registry=not args.no_verify)
+    result = engine.configure(partial)
+    out.write(
+        f"configured {len(result.spec)} instances from "
+        f"{len(partial)} in the partial specification\n"
+    )
+    deploy = DeploymentEngine(registry, infrastructure, drivers)
+    system = deploy.deploy(result.spec)
+    out.write("deployment state:\n")
+    for instance in result.spec.topological_order():
+        out.write(
+            f"  {instance.id:<16} {str(instance.key):<28} "
+            f"{system.state_of(instance.id)}\n"
+        )
+    out.write(
+        f"simulated time: {infrastructure.clock.now / 60:.1f} minutes\n"
+    )
+    if getattr(args, "save", None):
+        _save_bundle(args.save, registry, infrastructure, system)
+        out.write(f"bundle saved to {args.save}\n")
+    return 0 if system.is_deployed() else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="engage-sim",
+        description="Engage deployment management (PLDI 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, with_partial: bool = True):
+        p.add_argument(
+            "--types", action="append", metavar="FILE", default=[],
+            help="a DSL resource file to load (repeatable)",
+        )
+        p.add_argument(
+            "--no-stdlib", action="store_true",
+            help="do not preload the built-in resource library",
+        )
+        p.add_argument(
+            "--no-verify", action="store_true",
+            help="skip registry well-formedness verification",
+        )
+        if with_partial:
+            p.add_argument(
+                "partial", metavar="PARTIAL_SPEC.json",
+                help="partial installation specification (Figure 2 JSON)",
+            )
+
+    check = sub.add_parser("check", help="validate DSL resource files")
+    common(check, with_partial=False)
+
+    configure = sub.add_parser(
+        "configure", help="expand a partial spec to a full spec"
+    )
+    common(configure)
+    configure.add_argument(
+        "-o", "--output", metavar="FILE", help="write the full spec here"
+    )
+
+    graph = sub.add_parser("graph", help="print the dependency hypergraph")
+    common(graph)
+    graph.add_argument(
+        "--dot", action="store_true",
+        help="emit Graphviz DOT instead of text (Figure 5 style)",
+    )
+
+    explain = sub.add_parser(
+        "explain", help="diagnose an unsatisfiable partial spec"
+    )
+    common(explain)
+
+    deploy = sub.add_parser(
+        "deploy", help="configure and run a simulated deployment"
+    )
+    common(deploy)
+    deploy.add_argument(
+        "--save", metavar="BUNDLE",
+        help="persist world + deployment for later status/stop/start",
+    )
+
+    for name, help_text in (
+        ("status", "show the state of a saved deployment"),
+        ("stop", "stop a saved deployment (reverse dependency order)"),
+        ("start", "start a saved deployment (dependency order)"),
+        ("watch", "restart any failed services of a saved deployment"),
+    ):
+        manage = sub.add_parser(name, help=help_text)
+        manage.add_argument(
+            "bundle", metavar="BUNDLE",
+            help="bundle file written by 'deploy --save'",
+        )
+
+    upgrade = sub.add_parser(
+        "upgrade", help="upgrade a saved deployment to a new partial spec"
+    )
+    upgrade.add_argument("bundle", metavar="BUNDLE")
+    upgrade.add_argument("partial", metavar="NEW_PARTIAL_SPEC.json")
+    upgrade.add_argument(
+        "--types", action="append", metavar="FILE", default=[],
+        help="additional DSL resource files (e.g. the new version's type)",
+    )
+    upgrade.add_argument(
+        "--strategy", choices=("replace", "in_place"), default="replace",
+        help="worst-case replace (paper) or in-place (extension)",
+    )
+
+    inject = sub.add_parser(
+        "inject-fault", help="fail a running service (chaos helper)"
+    )
+    inject.add_argument("bundle", metavar="BUNDLE")
+    inject.add_argument("instance", metavar="INSTANCE_ID")
+
+    render = sub.add_parser(
+        "render", help="pretty-print loaded resource types as DSL"
+    )
+    common(render, with_partial=False)
+
+    dimacs = sub.add_parser(
+        "dimacs", help="emit the Boolean constraints in DIMACS CNF"
+    )
+    common(dimacs)
+    return parser
+
+
+_COMMANDS = {
+    "check": cmd_check,
+    "configure": cmd_configure,
+    "graph": cmd_graph,
+    "explain": cmd_explain,
+    "deploy": cmd_deploy,
+    "status": cmd_status,
+    "stop": cmd_stop,
+    "start": cmd_start,
+    "watch": cmd_watch,
+    "upgrade": cmd_upgrade,
+    "inject-fault": cmd_inject_fault,
+    "render": cmd_render,
+    "dimacs": cmd_dimacs,
+}
+
+
+def main(
+    argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None
+) -> int:
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except BrokenPipeError:
+        return 0  # e.g. `engage-sim graph ... | head`
+    except EngageError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+    except OSError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,116 @@
+"""The configuration engine (S4).
+
+Ties the pipeline together: partial installation specification ->
+hypergraph (``GraphGen``) -> Boolean constraints (``Generate``) -> SAT
+(the CDCL solver) -> port-value propagation -> full installation
+specification.  Theorem 1 justifies raising
+:class:`~repro.core.errors.UnsatisfiableError` when the solver says no.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.errors import UnsatisfiableError
+from repro.core.instances import InstallSpec, PartialInstallSpec
+from repro.core.registry import ResourceTypeRegistry
+from repro.core.wellformed import assert_well_formed
+from repro.config.constraints import (
+    ConstraintStats,
+    generate_constraints,
+    selected_nodes,
+)
+from repro.config.hypergraph import ResourceGraph, generate_graph
+from repro.config.propagation import propagate
+from repro.config.typecheck import check_spec
+from repro.sat.cnf import CnfFormula
+from repro.sat.encodings import ExactlyOneEncoding
+from repro.sat.solver import CdclSolver, DpllSolver, SolverStats
+
+
+@dataclass
+class ConfigurationResult:
+    """Everything the engine produced, for inspection and benchmarks."""
+
+    spec: InstallSpec
+    graph: ResourceGraph
+    formula: CnfFormula
+    model: dict[str, bool]
+    constraint_stats: ConstraintStats
+    solver_stats: SolverStats
+    deployed_ids: set[str] = field(default_factory=set)
+
+
+class ConfigurationEngine:
+    """Expands partial installation specifications to full ones."""
+
+    def __init__(
+        self,
+        registry: ResourceTypeRegistry,
+        *,
+        encoding: ExactlyOneEncoding = ExactlyOneEncoding.PAIRWISE,
+        solver: str = "cdcl",
+        check_types: bool = True,
+        verify_registry: bool = True,
+        explain_unsat: bool = True,
+        peer_policy: str = "colocate",
+    ) -> None:
+        self._registry = registry
+        self._encoding = encoding
+        self._solver = solver
+        self._check_types = check_types
+        self._explain_unsat = explain_unsat
+        self._peer_policy = peer_policy
+        if verify_registry:
+            assert_well_formed(registry)
+
+    @property
+    def registry(self) -> ResourceTypeRegistry:
+        return self._registry
+
+    def configure(self, partial: PartialInstallSpec) -> ConfigurationResult:
+        """Compute a full installation specification extending ``partial``.
+
+        Raises :class:`UnsatisfiableError` when no extension exists
+        (Theorem 1), and surfaces any propagation or typechecking error.
+        """
+        graph = generate_graph(
+            self._registry, partial, peer_policy=self._peer_policy
+        )
+        formula, constraint_stats = generate_constraints(graph, self._encoding)
+
+        engine: CdclSolver | DpllSolver
+        if self._solver == "dpll":
+            engine = DpllSolver(formula)
+        else:
+            engine = CdclSolver(formula)
+        if not engine.solve():
+            message = (
+                "no full installation specification extends the partial "
+                f"specification (over {len(graph)} candidate instances)"
+            )
+            if self._explain_unsat:
+                from repro.config.explain import explain_unsat
+
+                explanation = explain_unsat(self._registry, partial)
+                if explanation is not None:
+                    message += "\n" + explanation.message(graph)
+            raise UnsatisfiableError(message)
+        named_model = {
+            str(name): value
+            for name, value in formula.decode_model(engine.model()).items()
+        }
+        deployed, choices = selected_nodes(graph, named_model)
+        spec = propagate(self._registry, graph, deployed, choices)
+        if self._check_types:
+            check_spec(self._registry, spec)
+        return ConfigurationResult(
+            spec=spec,
+            graph=graph,
+            formula=formula,
+            model=named_model,
+            constraint_stats=constraint_stats,
+            solver_stats=engine.stats,
+            deployed_ids=deployed,
+        )

@@ -1,0 +1,132 @@
+"""Unsatisfiability explanation.
+
+Theorem 1 tells the user *whether* a partial installation specification
+extends to a full one; when it does not, a bare "unsatisfiable" is a
+poor error message.  This module computes a *minimal conflicting subset*
+of the user's pinned instances -- a deletion-based minimal unsatisfiable
+subset (MUS) over the partial-spec facts, using solver assumptions --
+so errors read like "pinning both 'web' (Gunicorn 0.13) and 'opt0'
+(Apache-HTTPD 2.2) violates the exactly-one web-server dependency of
+'app'" rather than "no".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.instances import PartialInstallSpec
+from repro.core.registry import ResourceTypeRegistry
+from repro.config.constraints import generate_constraints
+from repro.config.hypergraph import ResourceGraph, generate_graph
+from repro.sat.cnf import CnfFormula
+from repro.sat.encodings import ExactlyOneEncoding
+from repro.sat.solver import CdclSolver
+
+
+@dataclass
+class UnsatExplanation:
+    """Why a partial installation specification has no extension."""
+
+    #: A minimal set of pinned instance ids that cannot coexist.
+    conflicting_ids: list[str]
+    #: Hyperedges connecting the conflict (source id, target ids).
+    related_edges: list[tuple[str, tuple[str, ...]]] = field(
+        default_factory=list
+    )
+
+    def message(self, graph: Optional[ResourceGraph] = None) -> str:
+        if not self.conflicting_ids:
+            return (
+                "the resource library itself admits no deployment of the "
+                "requested components"
+            )
+        if graph is not None:
+            named = [
+                f"{iid!r} ({graph.node(iid).key})"
+                for iid in self.conflicting_ids
+            ]
+        else:
+            named = [repr(iid) for iid in self.conflicting_ids]
+        lines = [
+            "these pinned instances cannot be deployed together: "
+            + ", ".join(named)
+        ]
+        for source, targets in self.related_edges:
+            lines.append(
+                f"  {source!r} requires exactly one of {list(targets)}"
+            )
+        return "\n".join(lines)
+
+
+def _facts_as_assumptions(
+    graph: ResourceGraph,
+) -> tuple[CnfFormula, dict[str, int]]:
+    """The constraint formula *without* the partial-spec unit facts; the
+    facts become assumption literals instead."""
+    formula = CnfFormula()
+    for node in graph.nodes():
+        formula.var(node.instance_id)
+    # Re-emit only the dependency constraints (family 2).
+    from repro.sat.encodings import implies_exactly_one
+
+    for edge in graph.edges():
+        source = formula.var(edge.source_id)
+        targets = [formula.var(t) for t in edge.targets]
+        if len(targets) == 1:
+            formula.add_implies(source, targets[0])
+        else:
+            implies_exactly_one(
+                formula, source, targets, ExactlyOneEncoding.PAIRWISE
+            )
+    fact_literals = {
+        node.instance_id: formula.var(node.instance_id)
+        for node in graph.nodes()
+        if node.from_partial
+    }
+    return formula, fact_literals
+
+
+def explain_unsat(
+    registry: ResourceTypeRegistry, partial: PartialInstallSpec
+) -> Optional[UnsatExplanation]:
+    """Explain why ``partial`` is unsatisfiable; None if it is fine.
+
+    Runs a deletion-based MUS over the partial-spec facts: drop each
+    pinned instance in turn and keep the drop whenever the rest is still
+    unsatisfiable.  The survivors are a minimal conflicting subset.
+    """
+    graph = generate_graph(registry, partial)
+    formula, fact_literals = _facts_as_assumptions(graph)
+
+    def satisfiable(kept: list[str]) -> bool:
+        solver = CdclSolver(formula.copy())
+        return solver.solve([fact_literals[iid] for iid in kept])
+
+    all_ids = sorted(fact_literals)
+    if satisfiable(all_ids):
+        return None
+
+    core = list(all_ids)
+    for candidate in all_ids:
+        trial = [iid for iid in core if iid != candidate]
+        if not satisfiable(trial):
+            core = trial  # still unsat without it: drop for good
+
+    related: list[tuple[str, tuple[str, ...]]] = []
+    core_set = set(core)
+    for edge in graph.edges():
+        if len(edge.targets) > 1 and core_set & set(edge.targets):
+            related.append((edge.source_id, edge.targets))
+    return UnsatExplanation(conflicting_ids=core, related_edges=related)
+
+
+def explain_message(
+    registry: ResourceTypeRegistry, partial: PartialInstallSpec
+) -> Optional[str]:
+    """The human-readable explanation, or None when satisfiable."""
+    explanation = explain_unsat(registry, partial)
+    if explanation is None:
+        return None
+    graph = generate_graph(registry, partial)
+    return explanation.message(graph)

@@ -1,0 +1,405 @@
+"""Hypergraph generation: the ``GraphGen(R, I)`` worklist algorithm (S4).
+
+Nodes are resource instances; hyperedges represent dependencies.  The
+algorithm seeds the graph with the partial installation specification's
+instances, then iteratively processes instances: abstract dependency
+targets are lowered to their concrete frontier, each disjunct is matched
+against an existing compatible node (subtype, and same machine for
+environment dependencies) or materialised as a new node, and a hyperedge
+with one target per disjunct is recorded (Lemma 1).
+
+The paper's conservative placement rules are followed: new instances from
+environment *and* peer dependencies live on the dependent's machine
+("unless explicitly specified, a peer dependency is deployed at the same
+machine as the machine of its dependent").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from repro.core.errors import (
+    ConfigurationError,
+    MissingInsideError,
+    SpecError,
+)
+from repro.core.instances import PartialInstallSpec
+from repro.core.keys import ResourceKey
+from repro.core.registry import ResourceTypeRegistry
+from repro.core.resource_type import (
+    Dependency,
+    DependencyAlternative,
+    DependencyKind,
+)
+
+
+@dataclass
+class GraphNode:
+    """A (concrete) resource instance under construction."""
+
+    instance_id: str
+    key: ResourceKey
+    from_partial: bool = False
+    inside_id: Optional[str] = None
+    explicit_config: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        marker = " *" if self.from_partial else ""
+        return f"{self.instance_id}: {self.key}{marker}"
+
+
+@dataclass
+class HyperEdge:
+    """A dependency hyperedge: one source, one target per disjunct.
+
+    ``alternatives[i]`` is the (lowered) dependency alternative satisfied
+    by ``targets[i]`` -- it carries the port mappings used during value
+    propagation if that disjunct is selected.
+    """
+
+    source_id: str
+    kind: DependencyKind
+    targets: tuple[str, ...]
+    alternatives: tuple[DependencyAlternative, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.targets) != len(self.alternatives):
+            raise ConfigurationError(
+                "hyperedge targets and alternatives must align"
+            )
+
+    def __str__(self) -> str:
+        targets = ", ".join(self.targets)
+        return f"{self.source_id} --{self.kind.value}--> {{{targets}}}"
+
+
+class ResourceGraph:
+    """The directed hypergraph produced by :func:`generate_graph`."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, GraphNode] = {}
+        self._edges: list[HyperEdge] = []
+        self._ids_by_slug: dict[str, int] = {}
+
+    # -- Nodes ---------------------------------------------------------------
+
+    def add_node(self, node: GraphNode) -> None:
+        if node.instance_id in self._nodes:
+            raise ConfigurationError(f"duplicate node id: {node.instance_id}")
+        self._nodes[node.instance_id] = node
+
+    def node(self, instance_id: str) -> GraphNode:
+        try:
+            return self._nodes[instance_id]
+        except KeyError:
+            raise ConfigurationError(f"no node {instance_id!r}") from None
+
+    def nodes(self) -> list[GraphNode]:
+        return list(self._nodes.values())
+
+    def __contains__(self, instance_id: str) -> bool:
+        return instance_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def fresh_id(self, key: ResourceKey) -> str:
+        """A deterministic, human-readable id for a generated instance."""
+        slug = re.sub(r"[^a-z0-9]+", "_", key.name.lower()).strip("_")
+        count = self._ids_by_slug.get(slug, 0)
+        self._ids_by_slug[slug] = count + 1
+        candidate = slug if count == 0 else f"{slug}_{count + 1}"
+        while candidate in self._nodes:
+            count += 1
+            self._ids_by_slug[slug] = count + 1
+            candidate = f"{slug}_{count + 1}"
+        return candidate
+
+    # -- Edges ---------------------------------------------------------------
+
+    def add_edge(self, edge: HyperEdge) -> None:
+        self._edges.append(edge)
+
+    def edges(self) -> list[HyperEdge]:
+        return list(self._edges)
+
+    def edges_from(self, instance_id: str) -> list[HyperEdge]:
+        return [e for e in self._edges if e.source_id == instance_id]
+
+    # -- Machine context ------------------------------------------------------
+
+    def machine_of(self, instance_id: str) -> str:
+        """Follow inside links to the physical machine (S3.1)."""
+        seen: set[str] = set()
+        current = self.node(instance_id)
+        while current.inside_id is not None:
+            if current.instance_id in seen:
+                raise ConfigurationError(
+                    f"inside cycle at node {current.instance_id}"
+                )
+            seen.add(current.instance_id)
+            current = self.node(current.inside_id)
+        return current.instance_id
+
+    def nodes_on_machine(self, machine_id: str) -> list[GraphNode]:
+        return [
+            node
+            for node in self.nodes()
+            if self.machine_of(node.instance_id) == machine_id
+        ]
+
+
+def lower_alternatives(
+    registry: ResourceTypeRegistry, dependency: Dependency
+) -> list[DependencyAlternative]:
+    """Lower a dependency's alternatives to concrete keys.
+
+    Abstract keys are replaced by their concrete frontier (S4); each
+    frontier member inherits the abstract alternative's port mappings
+    (sound because frontier members subtype the abstract target, hence
+    declare at least its output ports).
+    """
+    lowered: list[DependencyAlternative] = []
+    seen: set[ResourceKey] = set()
+    for alt in dependency.alternatives:
+        resource_type = registry.effective(alt.key)
+        if resource_type.abstract:
+            frontier = registry.concrete_frontier(alt.key)
+        else:
+            frontier = [alt.key]
+        for key in frontier:
+            if key not in seen:
+                seen.add(key)
+                lowered.append(
+                    DependencyAlternative(
+                        key, alt.port_mapping, alt.reverse_mapping
+                    )
+                )
+    return lowered
+
+
+def generate_graph(
+    registry: ResourceTypeRegistry,
+    partial: PartialInstallSpec,
+    *,
+    peer_policy: str = "colocate",
+) -> ResourceGraph:
+    """The ``GraphGen(R, I)`` worklist algorithm.
+
+    ``peer_policy`` governs unmatched peer dependencies: ``"colocate"``
+    (the paper's conservative rule) materialises the peer on the
+    dependent's machine; ``"error"`` refuses, forcing the user to place
+    every shared service explicitly -- useful in production topologies
+    where accidentally co-locating a database would be a mistake.
+    """
+    if peer_policy not in ("colocate", "error"):
+        raise ConfigurationError(f"unknown peer policy: {peer_policy!r}")
+    graph = ResourceGraph()
+    worklist: list[str] = []
+
+    # Step 1: a node per partial instance.
+    for instance in partial:
+        resource_type = registry.effective(instance.key)
+        if resource_type.abstract:
+            raise SpecError(
+                f"partial spec instantiates abstract type {instance.key} "
+                f"(instance {instance.id!r})"
+            )
+        graph.add_node(
+            GraphNode(
+                instance_id=instance.id,
+                key=instance.key,
+                from_partial=True,
+                inside_id=instance.inside_id,
+                explicit_config=dict(instance.config),
+            )
+        )
+        worklist.append(instance.id)
+
+    # Validate partial inside references before processing.
+    for instance in partial:
+        if instance.inside_id is not None and instance.inside_id not in graph:
+            raise SpecError(
+                f"instance {instance.id!r} is inside unknown instance "
+                f"{instance.inside_id!r}"
+            )
+
+    # Step 2: process until the worklist is empty.
+    while worklist:
+        instance_id = worklist.pop(0)
+        _process_node(registry, graph, instance_id, worklist, peer_policy)
+
+    return graph
+
+
+def _process_node(
+    registry: ResourceTypeRegistry,
+    graph: ResourceGraph,
+    instance_id: str,
+    worklist: list[str],
+    peer_policy: str,
+) -> None:
+    node = graph.node(instance_id)
+    resource_type = registry.effective(node.key)
+
+    # Inside dependency: must already be resolved (the system does not
+    # generate new machines automatically -- S4).
+    if resource_type.inside is not None:
+        if node.inside_id is None:
+            raise MissingInsideError(
+                f"instance {instance_id!r} of {node.key} does not resolve "
+                "its inside dependency"
+            )
+        container = graph.node(node.inside_id)
+        lowered = lower_alternatives(registry, resource_type.inside)
+        match = _matching_alternative(registry, container.key, lowered)
+        if match is None:
+            raise ConfigurationError(
+                f"instance {instance_id!r}: container {container.key} does "
+                f"not satisfy inside dependency "
+                f"{[str(a.key) for a in lowered]}"
+            )
+        graph.add_edge(
+            HyperEdge(
+                source_id=instance_id,
+                kind=DependencyKind.INSIDE,
+                targets=(container.instance_id,),
+                alternatives=(match,),
+            )
+        )
+    elif node.inside_id is not None:
+        raise SpecError(
+            f"instance {instance_id!r} of machine type {node.key} must not "
+            "have a container"
+        )
+
+    machine_id = graph.machine_of(instance_id)
+
+    for dependency in resource_type.environment:
+        _process_hyperedge(
+            registry, graph, node, dependency, machine_id, worklist,
+            same_machine=True, peer_policy=peer_policy,
+        )
+    for dependency in resource_type.peers:
+        _process_hyperedge(
+            registry, graph, node, dependency, machine_id, worklist,
+            same_machine=False, peer_policy=peer_policy,
+        )
+
+
+def _matching_alternative(
+    registry: ResourceTypeRegistry,
+    key: ResourceKey,
+    alternatives: Iterable[DependencyAlternative],
+) -> Optional[DependencyAlternative]:
+    """The first alternative whose key ``key`` subtypes, if any."""
+    for alt in alternatives:
+        if registry.is_subtype(key, alt.key):
+            return alt
+    return None
+
+
+def _process_hyperedge(
+    registry: ResourceTypeRegistry,
+    graph: ResourceGraph,
+    node: GraphNode,
+    dependency: Dependency,
+    machine_id: str,
+    worklist: list[str],
+    *,
+    same_machine: bool,
+    peer_policy: str,
+) -> None:
+    lowered = lower_alternatives(registry, dependency)
+    targets: list[str] = []
+    alternatives: list[DependencyAlternative] = []
+    for alt in lowered:
+        target_id = _find_existing(
+            registry, graph, alt.key,
+            machine_id if same_machine else None,
+            exclude_id=node.instance_id,
+        )
+        if target_id is None:
+            if not same_machine and peer_policy == "error":
+                raise ConfigurationError(
+                    f"peer dependency of {node.instance_id!r} on "
+                    f"{alt.key} has no matching instance, and the "
+                    "peer policy forbids materialising one"
+                )
+            target_id = _materialise(
+                registry, graph, alt.key, machine_id, worklist
+            )
+        targets.append(target_id)
+        alternatives.append(alt)
+    graph.add_edge(
+        HyperEdge(
+            source_id=node.instance_id,
+            kind=dependency.kind,
+            targets=tuple(targets),
+            alternatives=tuple(alternatives),
+        )
+    )
+
+
+def _find_existing(
+    registry: ResourceTypeRegistry,
+    graph: ResourceGraph,
+    key: ResourceKey,
+    machine_id: Optional[str],
+    *,
+    exclude_id: str,
+) -> Optional[str]:
+    """An existing node whose key subtypes ``key`` (and lives on
+    ``machine_id`` when given), preferring partial-spec nodes.  The
+    depending node itself is excluded -- a resource cannot satisfy its
+    own dependency."""
+    candidates = [
+        node
+        for node in graph.nodes()
+        if node.instance_id != exclude_id
+        and registry.is_subtype(node.key, key)
+        and (machine_id is None or graph.machine_of(node.instance_id) == machine_id)
+    ]
+    if not candidates:
+        return None
+    candidates.sort(key=lambda n: (not n.from_partial, n.instance_id))
+    return candidates[0].instance_id
+
+
+def _materialise(
+    registry: ResourceTypeRegistry,
+    graph: ResourceGraph,
+    key: ResourceKey,
+    machine_id: str,
+    worklist: list[str],
+) -> str:
+    """Create a new instance of ``key`` on ``machine_id`` (S4: new
+    instances conservatively reside on the dependent's machine)."""
+    resource_type = registry.effective(key)
+    inside_id: Optional[str] = None
+    if resource_type.inside is not None:
+        lowered = lower_alternatives(registry, resource_type.inside)
+        machine_node = graph.node(machine_id)
+        if _matching_alternative(registry, machine_node.key, lowered) is not None:
+            inside_id = machine_id
+        else:
+            # The container is not the machine itself: look for a
+            # compatible container already on the machine.
+            for candidate in graph.nodes_on_machine(machine_id):
+                if _matching_alternative(registry, candidate.key, lowered):
+                    inside_id = candidate.instance_id
+                    break
+            if inside_id is None:
+                raise ConfigurationError(
+                    f"cannot place new instance of {key}: no compatible "
+                    f"container on machine {machine_id!r} (needs one of "
+                    f"{[str(a.key) for a in lowered]})"
+                )
+    instance_id = graph.fresh_id(key)
+    graph.add_node(
+        GraphNode(instance_id=instance_id, key=key, inside_id=inside_id)
+    )
+    worklist.append(instance_id)
+    return instance_id

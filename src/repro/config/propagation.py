@@ -1,0 +1,237 @@
+"""Port-value propagation (S4).
+
+"Given this solution, we can also tie together the input and output ports
+by traversing the resource instances in topological order of
+dependencies, starting with the output ports of [the machines], and using
+the definitions of output ports of preceding resource instances to get
+values of input ports according to the port mappings specified in the
+dependencies."
+
+Static ports (S3.4) are handled in a pre-pass: static output values are
+computable at instantiation time (constants or functions of static config
+constants), which is what lets reverse mappings flow configuration
+*against* the dependency direction without breaking the topological walk.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.errors import ConfigurationError, PortTypeError
+from repro.core.instances import (
+    DependencyLink,
+    InstallSpec,
+    InstanceRef,
+    ResourceInstance,
+)
+from repro.core.ports import Binding, neutral_value
+from repro.core.registry import ResourceTypeRegistry
+from repro.core.resource_type import DependencyKind, ResourceType
+from repro.core.values import PortEnv, Space
+from repro.core.wellformed import collect_reverse_targets, is_reverse_target
+from repro.config.hypergraph import GraphNode, HyperEdge, ResourceGraph
+
+
+def propagate(
+    registry: ResourceTypeRegistry,
+    graph: ResourceGraph,
+    deployed: set[str],
+    choices: dict[tuple[str, int], str],
+) -> InstallSpec:
+    """Materialise the full installation specification.
+
+    ``deployed``/``choices`` come from
+    :func:`repro.config.constraints.selected_nodes`.
+    """
+    links = _build_links(graph, deployed, choices)
+
+    # Skeleton spec used only for ordering.
+    skeleton = InstallSpec(
+        ResourceInstance(
+            id=node_id,
+            key=graph.node(node_id).key,
+            inside=links[node_id]["inside"],
+            environment=tuple(links[node_id]["environment"]),
+            peers=tuple(links[node_id]["peers"]),
+        )
+        for node_id in sorted(deployed)
+    )
+    order = [instance.id for instance in skeleton.topological_order()]
+
+    # Pre-pass: static output values, computable at instantiation time.
+    static_outputs: dict[str, dict[str, Any]] = {}
+    for node_id in order:
+        node = graph.node(node_id)
+        resource_type = registry.effective(node.key)
+        static_outputs[node_id] = _evaluate_static_outputs(
+            resource_type, node.explicit_config
+        )
+
+    # Reverse mappings: dependents push static outputs into providers.
+    reverse_inputs: dict[str, dict[str, Any]] = {n: {} for n in deployed}
+    for node_id in deployed:
+        for link in _all_links(links[node_id]):
+            for output_name, input_name in link.reverse_mapping:
+                reverse_inputs[link.target.id][input_name] = (
+                    static_outputs[node_id][output_name]
+                )
+
+    # Topological pass: inputs <- provider outputs; configs; outputs.
+    reverse_targets = collect_reverse_targets(registry)
+    instances: dict[str, ResourceInstance] = {}
+    for node_id in order:
+        node = graph.node(node_id)
+        resource_type = registry.effective(node.key)
+        inputs = dict(reverse_inputs[node_id])
+        # Reverse-mappable inputs that no dependent filled take a neutral
+        # value of their type ("no dependent pushed configuration").
+        for port in resource_type.input_ports:
+            if port.name not in inputs and is_reverse_target(
+                registry, reverse_targets, node.key, port.name
+            ):
+                inputs[port.name] = neutral_value(port.type)
+        for link in _all_links(links[node_id]):
+            provider = instances[link.target.id]
+            for output_name, input_name in link.port_mapping:
+                if output_name not in provider.outputs:
+                    raise ConfigurationError(
+                        f"{node_id}: provider {provider.id} has no output "
+                        f"{output_name!r}"
+                    )
+                inputs[input_name] = provider.outputs[output_name]
+        config = _evaluate_configs(resource_type, inputs, node.explicit_config)
+        outputs = _evaluate_outputs(resource_type, inputs, config)
+        _typecheck_values(resource_type, node_id, inputs, config, outputs)
+        instances[node_id] = ResourceInstance(
+            id=node_id,
+            key=node.key,
+            config=config,
+            inputs=inputs,
+            outputs=outputs,
+            inside=links[node_id]["inside"],
+            environment=tuple(links[node_id]["environment"]),
+            peers=tuple(links[node_id]["peers"]),
+        )
+
+    return InstallSpec(instances[node_id] for node_id in order)
+
+
+def _build_links(
+    graph: ResourceGraph,
+    deployed: set[str],
+    choices: dict[tuple[str, int], str],
+) -> dict[str, dict[str, Any]]:
+    """Resolve each deployed node's edges to concrete dependency links."""
+    links: dict[str, dict[str, Any]] = {}
+    for node_id in deployed:
+        entry: dict[str, Any] = {
+            "inside": None,
+            "environment": [],
+            "peers": [],
+        }
+        for index, edge in enumerate(graph.edges_from(node_id)):
+            target_id = choices[(node_id, index)]
+            position = edge.targets.index(target_id)
+            alternative = edge.alternatives[position]
+            link = DependencyLink(
+                kind=edge.kind.value,
+                target=InstanceRef(target_id, graph.node(target_id).key),
+                port_mapping=alternative.port_mapping.entries,
+                reverse_mapping=alternative.reverse_mapping.entries,
+            )
+            if edge.kind == DependencyKind.INSIDE:
+                entry["inside"] = link
+            elif edge.kind == DependencyKind.ENVIRONMENT:
+                entry["environment"].append(link)
+            else:
+                entry["peers"].append(link)
+        links[node_id] = entry
+    return links
+
+
+def _all_links(entry: dict[str, Any]) -> list[DependencyLink]:
+    result: list[DependencyLink] = []
+    if entry["inside"] is not None:
+        result.append(entry["inside"])
+    result.extend(entry["environment"])
+    result.extend(entry["peers"])
+    return result
+
+
+def _evaluate_static_outputs(
+    resource_type: ResourceType, explicit_config: dict[str, Any]
+) -> dict[str, Any]:
+    static_config: dict[str, Any] = {}
+    for config_port in resource_type.config_ports:
+        if config_port.port.binding == Binding.STATIC:
+            value = explicit_config.get(
+                config_port.name, config_port.default.evaluate(PortEnv())
+            )
+            static_config[config_port.name] = value
+    env = PortEnv(inputs={}, configs=static_config)
+    outputs: dict[str, Any] = {}
+    for output_port in resource_type.output_ports:
+        if output_port.port.binding == Binding.STATIC:
+            outputs[output_port.name] = output_port.value.evaluate(env)
+    return outputs
+
+
+def _evaluate_configs(
+    resource_type: ResourceType,
+    inputs: dict[str, Any],
+    explicit_config: dict[str, Any],
+) -> dict[str, Any]:
+    for name in explicit_config:
+        resource_type.config_port(name)  # raises on unknown names
+    env = PortEnv(inputs=inputs)
+    config: dict[str, Any] = {}
+    for config_port in resource_type.config_ports:
+        if config_port.name in explicit_config:
+            config[config_port.name] = explicit_config[config_port.name]
+        else:
+            config[config_port.name] = config_port.default.evaluate(env)
+    return config
+
+
+def _evaluate_outputs(
+    resource_type: ResourceType,
+    inputs: dict[str, Any],
+    config: dict[str, Any],
+) -> dict[str, Any]:
+    env = PortEnv(inputs=inputs, configs=config)
+    return {
+        output_port.name: output_port.value.evaluate(env)
+        for output_port in resource_type.output_ports
+    }
+
+
+def _typecheck_values(
+    resource_type: ResourceType,
+    node_id: str,
+    inputs: dict[str, Any],
+    config: dict[str, Any],
+    outputs: dict[str, Any],
+) -> None:
+    for port in resource_type.input_ports:
+        if port.name not in inputs:
+            raise ConfigurationError(
+                f"{node_id}: input port {port.name!r} was never filled"
+            )
+        _check(node_id, port, inputs[port.name])
+    for config_port in resource_type.config_ports:
+        _check(node_id, config_port.port, config[config_port.name])
+    for output_port in resource_type.output_ports:
+        _check(node_id, output_port.port, outputs[output_port.name])
+
+
+def _check(node_id: str, port, value: Any) -> None:
+    if value is None:
+        raise ConfigurationError(
+            f"{node_id}: port {port.name!r} has no value (no default and "
+            "no explicit assignment)"
+        )
+    if not port.type.accepts(value):
+        raise PortTypeError(
+            f"{node_id}: value {value!r} does not inhabit type "
+            f"{port.type} of port {port.name!r}"
+        )

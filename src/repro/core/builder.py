@@ -1,0 +1,190 @@
+"""A fluent builder for :class:`~repro.core.resource_type.ResourceType`.
+
+The resource library (``repro.library``) defines dozens of types; this
+builder keeps those definitions close to the concrete DSL syntax while
+staying plain Python.  Example::
+
+    tomcat = (
+        define("Tomcat", "6.0.18", driver="tomcat")
+        .inside("Server", host="host")
+        .env("Java", java="java")
+        .config("manager_port", TCP_PORT, default=8080)
+        .output("tomcat", RecordType.of(hostname=HOSTNAME, port=TCP_PORT),
+                value=RecordExpr.of(hostname=input_ref("host", "hostname"),
+                                    port=config_ref("manager_port")))
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Union
+
+from repro.core.keys import ResourceKey
+from repro.core.ports import Binding, Port, PortType
+from repro.core.resource_type import (
+    ConfigPort,
+    Dependency,
+    DependencyAlternative,
+    DependencyKind,
+    OutputPort,
+    PortMapping,
+    ResourceType,
+)
+from repro.core.values import Expr, Lit
+
+KeyLike = Union[str, ResourceKey]
+AltLike = Union[KeyLike, DependencyAlternative]
+
+
+def as_key(key: KeyLike) -> ResourceKey:
+    """Coerce a string such as ``"Tomcat 6.0.18"`` to a ResourceKey."""
+    if isinstance(key, ResourceKey):
+        return key
+    return ResourceKey.parse(key)
+
+
+def _as_expr(value: Any) -> Expr:
+    return value if isinstance(value, Expr) else Lit(value)
+
+
+def _as_alternative(alt: AltLike, mapping: PortMapping) -> DependencyAlternative:
+    if isinstance(alt, DependencyAlternative):
+        return alt
+    return DependencyAlternative(as_key(alt), mapping)
+
+
+class ResourceTypeBuilder:
+    """Accumulates the pieces of a resource type, then :meth:`build`\\ s it."""
+
+    def __init__(
+        self,
+        name: str,
+        version: str = "",
+        *,
+        abstract: bool = False,
+        extends: Optional[KeyLike] = None,
+        driver: str = "null",
+    ) -> None:
+        display = f"{name} {version}".strip()
+        self._key = as_key(display)
+        self._abstract = abstract
+        self._extends = as_key(extends) if extends is not None else None
+        self._driver = driver
+        self._inputs: list[Port] = []
+        self._configs: list[ConfigPort] = []
+        self._outputs: list[OutputPort] = []
+        self._inside: Optional[Dependency] = None
+        self._environment: list[Dependency] = []
+        self._peers: list[Dependency] = []
+
+    # -- Ports ----------------------------------------------------------
+
+    def input(self, name: str, type_: PortType) -> "ResourceTypeBuilder":
+        self._inputs.append(Port(name, type_))
+        return self
+
+    def config(
+        self,
+        name: str,
+        type_: PortType,
+        default: Any = None,
+        *,
+        static: bool = False,
+    ) -> "ResourceTypeBuilder":
+        binding = Binding.STATIC if static else Binding.DYNAMIC
+        self._configs.append(
+            ConfigPort(Port(name, type_, binding), _as_expr(default))
+        )
+        return self
+
+    def output(
+        self,
+        name: str,
+        type_: PortType,
+        value: Any = None,
+        *,
+        static: bool = False,
+    ) -> "ResourceTypeBuilder":
+        binding = Binding.STATIC if static else Binding.DYNAMIC
+        self._outputs.append(
+            OutputPort(Port(name, type_, binding), _as_expr(value))
+        )
+        return self
+
+    # -- Dependencies ---------------------------------------------------
+
+    def inside(self, *alternatives: AltLike, **mapping: str) -> "ResourceTypeBuilder":
+        """Declare the inside dependency.  ``mapping`` keywords are the
+        provider's output ports; values are this resource's input ports."""
+        self._inside = self._dependency(
+            DependencyKind.INSIDE, alternatives, mapping
+        )
+        return self
+
+    def env(self, *alternatives: AltLike, **mapping: str) -> "ResourceTypeBuilder":
+        """Add an environment dependency (same-machine prerequisite)."""
+        self._environment.append(
+            self._dependency(DependencyKind.ENVIRONMENT, alternatives, mapping)
+        )
+        return self
+
+    def peer(self, *alternatives: AltLike, **mapping: str) -> "ResourceTypeBuilder":
+        """Add a peer dependency (service possibly on another machine)."""
+        self._peers.append(
+            self._dependency(DependencyKind.PEER, alternatives, mapping)
+        )
+        return self
+
+    def env_dep(self, dependency: Dependency) -> "ResourceTypeBuilder":
+        """Add a pre-built environment dependency (for reverse mappings)."""
+        self._environment.append(dependency)
+        return self
+
+    def peer_dep(self, dependency: Dependency) -> "ResourceTypeBuilder":
+        self._peers.append(dependency)
+        return self
+
+    def inside_dep(self, dependency: Dependency) -> "ResourceTypeBuilder":
+        self._inside = dependency
+        return self
+
+    @staticmethod
+    def _dependency(
+        kind: DependencyKind,
+        alternatives: tuple[AltLike, ...],
+        mapping: dict[str, str],
+    ) -> Dependency:
+        pmap = PortMapping.of(**mapping)
+        alts = tuple(_as_alternative(alt, pmap) for alt in alternatives)
+        return Dependency(kind, alts)
+
+    # -- Build ----------------------------------------------------------
+
+    def build(self) -> ResourceType:
+        return ResourceType(
+            key=self._key,
+            abstract=self._abstract,
+            extends=self._extends,
+            input_ports=tuple(self._inputs),
+            config_ports=tuple(self._configs),
+            output_ports=tuple(self._outputs),
+            inside=self._inside,
+            environment=tuple(self._environment),
+            peers=tuple(self._peers),
+            driver_name=self._driver,
+        )
+
+
+def define(
+    name: str,
+    version: str = "",
+    *,
+    abstract: bool = False,
+    extends: Optional[KeyLike] = None,
+    driver: str = "null",
+) -> ResourceTypeBuilder:
+    """Start building a resource type; see :class:`ResourceTypeBuilder`."""
+    return ResourceTypeBuilder(
+        name, version, abstract=abstract, extends=extends, driver=driver
+    )

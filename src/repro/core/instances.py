@@ -1,0 +1,271 @@
+"""Resource instances and installation specifications (S3.3).
+
+A *resource instance* is created from a resource type "by assigning
+concrete values to its configuration ports and by replacing dependency
+constraints with directional links to other resource instances"; each
+instance carries a globally unique identifier.
+
+A *full installation specification* lists every instance required to
+deploy an application, with every dependency linked and every port
+valued.  A *partial installation specification* (S4) lists only the main
+components -- resource instances "for which only a subset of dependencies
+are instantiated" -- plus optional explicit config-port values; the
+configuration engine expands it to a full specification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.core.errors import CycleError, SpecError
+from repro.core.keys import ResourceKey
+
+
+@dataclass(frozen=True)
+class InstanceRef:
+    """A directional link to another resource instance."""
+
+    id: str
+    key: ResourceKey
+
+    def __str__(self) -> str:
+        return f"{self.id} ({self.key})"
+
+
+@dataclass(frozen=True)
+class DependencyLink:
+    """A resolved dependency: which instance satisfies it, and the port
+    mapping in force (output port of the target -> input port of the
+    owner)."""
+
+    kind: str  # "inside" | "environment" | "peer"
+    target: InstanceRef
+    port_mapping: tuple[tuple[str, str], ...] = ()
+    reverse_mapping: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class ResourceInstance:
+    """A fully resolved resource instance.
+
+    ``config``/``inputs``/``outputs`` hold the concrete port values.
+    ``inside`` is the container link (None only for machines).
+    """
+
+    id: str
+    key: ResourceKey
+    config: dict[str, Any] = field(default_factory=dict)
+    inputs: dict[str, Any] = field(default_factory=dict)
+    outputs: dict[str, Any] = field(default_factory=dict)
+    inside: Optional[DependencyLink] = None
+    environment: tuple[DependencyLink, ...] = ()
+    peers: tuple[DependencyLink, ...] = ()
+
+    def ref(self) -> InstanceRef:
+        return InstanceRef(self.id, self.key)
+
+    def links(self) -> tuple[DependencyLink, ...]:
+        """All outgoing dependency links (inside, environment, peer)."""
+        links: tuple[DependencyLink, ...] = ()
+        if self.inside is not None:
+            links += (self.inside,)
+        return links + self.environment + self.peers
+
+    def upstream_ids(self) -> list[str]:
+        """Ids of instances this one directly depends on."""
+        return [link.target.id for link in self.links()]
+
+    def is_machine(self) -> bool:
+        return self.inside is None
+
+    def machine_id(self, spec: "InstallSpec") -> str:
+        """Follow inside links to the physical machine (S3.1)."""
+        instance: ResourceInstance = self
+        seen: set[str] = set()
+        while instance.inside is not None:
+            if instance.id in seen:
+                raise CycleError(f"inside cycle at instance {instance.id}")
+            seen.add(instance.id)
+            instance = spec[instance.inside.target.id]
+        return instance.id
+
+
+@dataclass(frozen=True)
+class PartialInstance:
+    """One entry of a partial installation specification (Figure 2).
+
+    ``inside_id`` names the container instance (the paper assumes partial
+    specs resolve inside dependencies -- machines are not auto-created
+    unless provisioning fills them in).  ``config`` holds explicit values
+    for individual configuration ports; unassigned ones take the defaults
+    defined in the resource type.
+    """
+
+    id: str
+    key: ResourceKey
+    inside_id: Optional[str] = None
+    config: dict[str, Any] = field(default_factory=dict)
+
+
+class PartialInstallSpec:
+    """An ordered collection of :class:`PartialInstance` entries."""
+
+    def __init__(self, instances: Iterable[PartialInstance] = ()) -> None:
+        self._instances: dict[str, PartialInstance] = {}
+        for instance in instances:
+            self.add(instance)
+
+    def add(self, instance: PartialInstance) -> None:
+        if instance.id in self._instances:
+            raise SpecError(f"duplicate instance id in partial spec: {instance.id}")
+        self._instances[instance.id] = instance
+
+    def __iter__(self) -> Iterator[PartialInstance]:
+        return iter(self._instances.values())
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __contains__(self, instance_id: str) -> bool:
+        return instance_id in self._instances
+
+    def __getitem__(self, instance_id: str) -> PartialInstance:
+        try:
+            return self._instances[instance_id]
+        except KeyError:
+            raise SpecError(f"no instance {instance_id!r} in partial spec") from None
+
+    def ids(self) -> list[str]:
+        return list(self._instances)
+
+
+class InstallSpec:
+    """A full installation specification: every instance, fully linked.
+
+    Provides identity lookup, machine grouping, and the dependency order
+    used by the deployment engine.
+    """
+
+    def __init__(self, instances: Iterable[ResourceInstance] = ()) -> None:
+        self._instances: dict[str, ResourceInstance] = {}
+        for instance in instances:
+            self.add(instance)
+
+    def add(self, instance: ResourceInstance) -> None:
+        if instance.id in self._instances:
+            raise SpecError(f"duplicate instance id: {instance.id}")
+        self._instances[instance.id] = instance
+
+    def replace_instance(self, instance: ResourceInstance) -> None:
+        if instance.id not in self._instances:
+            raise SpecError(f"no instance {instance.id!r} to replace")
+        self._instances[instance.id] = instance
+
+    def __iter__(self) -> Iterator[ResourceInstance]:
+        return iter(self._instances.values())
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __contains__(self, instance_id: str) -> bool:
+        return instance_id in self._instances
+
+    def __getitem__(self, instance_id: str) -> ResourceInstance:
+        try:
+            return self._instances[instance_id]
+        except KeyError:
+            raise SpecError(f"no instance {instance_id!r} in install spec") from None
+
+    def ids(self) -> list[str]:
+        return list(self._instances)
+
+    def machines(self) -> list[ResourceInstance]:
+        """All machine instances (no inside link)."""
+        return [inst for inst in self if inst.is_machine()]
+
+    def instances_on_machine(self, machine_id: str) -> list[ResourceInstance]:
+        """Every instance whose physical context is ``machine_id``."""
+        return [
+            inst for inst in self if inst.machine_id(self) == machine_id
+        ]
+
+    def downstream_ids(self, instance_id: str) -> list[str]:
+        """Ids of instances that directly depend on ``instance_id``."""
+        return [
+            inst.id
+            for inst in self
+            if instance_id in inst.upstream_ids()
+        ]
+
+    def topological_order(self) -> list[ResourceInstance]:
+        """Instances ordered so dependencies precede dependents.
+
+        This is the install order of S5.2; raises :class:`CycleError` if
+        the links are cyclic (a full spec must be a DAG).
+        """
+        in_degree: dict[str, int] = {iid: 0 for iid in self._instances}
+        dependents: dict[str, list[str]] = {iid: [] for iid in self._instances}
+        for instance in self:
+            for upstream in instance.upstream_ids():
+                if upstream not in self._instances:
+                    raise SpecError(
+                        f"instance {instance.id} links to missing instance "
+                        f"{upstream}"
+                    )
+                in_degree[instance.id] += 1
+                dependents[upstream].append(instance.id)
+
+        ready = sorted(iid for iid, deg in in_degree.items() if deg == 0)
+        order: list[ResourceInstance] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(self._instances[current])
+            for dependent in sorted(dependents[current]):
+                in_degree[dependent] -= 1
+                if in_degree[dependent] == 0:
+                    ready.append(dependent)
+            ready.sort()
+        if len(order) != len(self._instances):
+            remaining = sorted(set(self._instances) - {i.id for i in order})
+            raise CycleError(
+                f"dependency cycle among instances: {', '.join(remaining)}"
+            )
+        return order
+
+    def machine_order(self) -> list[str]:
+        """Machines partially ordered by cross-machine dependencies (S5.2).
+
+        Machine ``m1`` precedes ``m2`` when some instance on ``m2`` depends
+        on some instance on ``m1``.  The paper's implementation assumes
+        this relation is acyclic; we raise :class:`CycleError` otherwise.
+        """
+        machine_of = {inst.id: inst.machine_id(self) for inst in self}
+        machines = sorted({m for m in machine_of.values()})
+        edges: dict[str, set[str]] = {m: set() for m in machines}
+        for instance in self:
+            m2 = machine_of[instance.id]
+            for upstream in instance.upstream_ids():
+                m1 = machine_of[upstream]
+                if m1 != m2:
+                    edges[m2].add(m1)  # m2 depends on m1
+
+        order: list[str] = []
+        state: dict[str, int] = {}
+
+        def visit(machine: str) -> None:
+            if state.get(machine) == 2:
+                return
+            if state.get(machine) == 1:
+                raise CycleError(
+                    f"cross-machine dependency cycle involving {machine}"
+                )
+            state[machine] = 1
+            for prerequisite in sorted(edges[machine]):
+                visit(prerequisite)
+            state[machine] = 2
+            order.append(machine)
+
+        for machine in machines:
+            visit(machine)
+        return order

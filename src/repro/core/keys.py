@@ -1,0 +1,154 @@
+"""Resource keys and versions.
+
+A resource type is identified by a globally unique *key*, "usually
+consisting of a name and a version" (S3.1).  Versions are dotted integer
+tuples ("6.0.18").  The DSL's version-range sugar ("OpenMRS depends on
+versions of Tomcat before 6.0.29") lowers to disjunctions over the
+concrete versions that satisfy a :class:`VersionRange`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Iterable, Optional
+
+from repro.core.errors import ResourceModelError
+
+_VERSION_RE = re.compile(r"^\d+(\.\d+)*$")
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Version:
+    """A dotted integer version such as ``6.0.18``.
+
+    Comparison is lexicographic on the integer components, with missing
+    trailing components treated as zero (so ``6.0`` == ``6.0.0`` and
+    ``6.0`` < ``6.0.18``).
+    """
+
+    parts: tuple[int, ...]
+
+    @staticmethod
+    def parse(text: str) -> "Version":
+        text = text.strip()
+        if not _VERSION_RE.match(text):
+            raise ResourceModelError(f"invalid version string: {text!r}")
+        return Version(tuple(int(p) for p in text.split(".")))
+
+    @staticmethod
+    def is_valid(text: str) -> bool:
+        return bool(_VERSION_RE.match(text.strip()))
+
+    def _padded(self, width: int) -> tuple[int, ...]:
+        return self.parts + (0,) * (width - len(self.parts))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Version):
+            return NotImplemented
+        width = max(len(self.parts), len(other.parts))
+        return self._padded(width) == other._padded(width)
+
+    def __lt__(self, other: "Version") -> bool:
+        width = max(len(self.parts), len(other.parts))
+        return self._padded(width) < other._padded(width)
+
+    def __hash__(self) -> int:
+        # Strip trailing zeros so equal versions hash equally.
+        parts = self.parts
+        while parts and parts[-1] == 0:
+            parts = parts[:-1]
+        return hash(parts)
+
+    def is_unversioned(self) -> bool:
+        return not self.parts
+
+    def __str__(self) -> str:
+        return ".".join(str(p) for p in self.parts)
+
+    def __repr__(self) -> str:
+        return f"Version({self})"
+
+
+#: The version of "unversioned" keys (abstract types such as ``Server``).
+UNVERSIONED = Version(())
+
+
+@dataclass(frozen=True)
+class VersionRange:
+    """A half-open or closed interval of versions.
+
+    ``lo``/``hi`` of ``None`` mean unbounded on that side.  Bounds are
+    inclusive when the matching ``*_inclusive`` flag is set.  The default
+    matches the common "at least 5.5 but before 6.0.29" idiom:
+    lo-inclusive, hi-exclusive.
+    """
+
+    lo: Optional[Version] = None
+    hi: Optional[Version] = None
+    lo_inclusive: bool = True
+    hi_inclusive: bool = False
+
+    def contains(self, version: Version) -> bool:
+        if self.lo is not None:
+            if self.lo_inclusive:
+                if version < self.lo:
+                    return False
+            elif version <= self.lo:
+                return False
+        if self.hi is not None:
+            if self.hi_inclusive:
+                if version > self.hi:
+                    return False
+            elif version >= self.hi:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        lo = "[" if self.lo_inclusive else "("
+        hi = "]" if self.hi_inclusive else ")"
+        lo_s = str(self.lo) if self.lo is not None else "*"
+        hi_s = str(self.hi) if self.hi is not None else "*"
+        return f"{lo}{lo_s}, {hi_s}{hi}"
+
+
+@dataclass(frozen=True, order=True)
+class ResourceKey:
+    """The globally unique identifier of a resource type: name + version."""
+
+    name: str
+    version: Version
+
+    @staticmethod
+    def parse(text: str) -> "ResourceKey":
+        """Parse a display form such as ``"Tomcat 6.0.18"``.
+
+        The version is the final whitespace-separated token if it looks
+        like a dotted number; everything before it is the name (names may
+        contain spaces).  Text without a version token parses as an
+        *unversioned* key -- used for abstract types such as ``Server``.
+        """
+        text = text.strip()
+        if not text:
+            raise ResourceModelError("empty resource key")
+        name, _, version = text.rpartition(" ")
+        if name and Version.is_valid(version):
+            return ResourceKey(name.strip(), Version.parse(version))
+        return ResourceKey(text, UNVERSIONED)
+
+    def display(self) -> str:
+        if self.version.is_unversioned():
+            return self.name
+        return f"{self.name} {self.version}"
+
+    def __str__(self) -> str:
+        return self.display()
+
+
+def select_versions(
+    versions: Iterable[Version], version_range: VersionRange
+) -> list[Version]:
+    """Return the sorted subset of ``versions`` inside ``version_range``."""
+    return sorted(v for v in set(versions) if version_range.contains(v))

@@ -1,0 +1,196 @@
+"""Port-value expressions.
+
+The paper requires that "each port p in ConfP is either a default constant
+or defined as a function of the ports in InP, and each port p in OutP is
+either a default constant or defined as a function of the ports in
+InP + ConfP" (S3.1).  This module is that function language: a small,
+side-effect-free expression AST evaluated against the already-known port
+values of an instance during propagation (S4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Mapping
+
+from repro.core.errors import PortError
+
+
+class Space(Enum):
+    """Which port namespace a reference reads from."""
+
+    INPUT = "input"
+    CONFIG = "config"
+
+
+class Expr:
+    """Abstract base of port-value expressions."""
+
+    def evaluate(self, env: "PortEnv") -> Any:
+        raise NotImplementedError
+
+    def references(self) -> set[tuple[Space, str]]:
+        """The (space, port-name) pairs this expression reads."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Lit(Expr):
+    """A constant."""
+
+    value: Any
+
+    def evaluate(self, env: "PortEnv") -> Any:
+        return self.value
+
+    def references(self) -> set[tuple[Space, str]]:
+        return set()
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Ref(Expr):
+    """A reference to a port value, optionally drilling into record fields.
+
+    ``Ref(Space.INPUT, "mysql", ("host",))`` reads field ``host`` of the
+    record held in input port ``mysql``.
+    """
+
+    space: Space
+    port: str
+    path: tuple[str, ...] = ()
+
+    def evaluate(self, env: "PortEnv") -> Any:
+        value = env.lookup(self.space, self.port)
+        for step in self.path:
+            if not isinstance(value, Mapping) or step not in value:
+                raise PortError(
+                    f"no field {step!r} while evaluating {self}: got {value!r}"
+                )
+            value = value[step]
+        return value
+
+    def references(self) -> set[tuple[Space, str]]:
+        return {(self.space, self.port)}
+
+    def __str__(self) -> str:
+        suffix = "".join(f".{step}" for step in self.path)
+        return f"{self.space.value}.{self.port}{suffix}"
+
+
+@dataclass(frozen=True)
+class RecordExpr(Expr):
+    """Build a record value field by field."""
+
+    fields: tuple[tuple[str, Expr], ...]
+
+    @staticmethod
+    def of(**fields: Expr) -> "RecordExpr":
+        return RecordExpr(tuple(sorted(fields.items())))
+
+    def evaluate(self, env: "PortEnv") -> Any:
+        return {name: expr.evaluate(env) for name, expr in self.fields}
+
+    def references(self) -> set[tuple[Space, str]]:
+        refs: set[tuple[Space, str]] = set()
+        for _, expr in self.fields:
+            refs |= expr.references()
+        return refs
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{name} = {expr}" for name, expr in self.fields)
+        return "{" + inner + "}"
+
+
+@dataclass(frozen=True)
+class ListExpr(Expr):
+    """Build a list value element by element."""
+
+    elements: tuple[Expr, ...]
+
+    def evaluate(self, env: "PortEnv") -> Any:
+        return [expr.evaluate(env) for expr in self.elements]
+
+    def references(self) -> set[tuple[Space, str]]:
+        refs: set[tuple[Space, str]] = set()
+        for expr in self.elements:
+            refs |= expr.references()
+        return refs
+
+    def __str__(self) -> str:
+        return "[" + ", ".join(str(e) for e in self.elements) + "]"
+
+
+@dataclass(frozen=True)
+class Format(Expr):
+    """String interpolation: ``Format("{h}:{p}", h=..., p=...)``.
+
+    The template uses ``str.format``-style named placeholders; each named
+    argument is an expression evaluated first.
+    """
+
+    template: str
+    args: tuple[tuple[str, Expr], ...]
+
+    @staticmethod
+    def of(template: str, **args: Expr) -> "Format":
+        return Format(template, tuple(sorted(args.items())))
+
+    def evaluate(self, env: "PortEnv") -> Any:
+        values = {name: expr.evaluate(env) for name, expr in self.args}
+        try:
+            return self.template.format(**values)
+        except (KeyError, IndexError) as exc:
+            raise PortError(
+                f"format template {self.template!r} failed: {exc}"
+            ) from exc
+
+    def references(self) -> set[tuple[Space, str]]:
+        refs: set[tuple[Space, str]] = set()
+        for _, expr in self.args:
+            refs |= expr.references()
+        return refs
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{name} = {expr}" for name, expr in self.args)
+        return f"format({self.template!r}, {inner})"
+
+
+class PortEnv:
+    """The evaluation environment: an instance's input and config values."""
+
+    def __init__(
+        self,
+        inputs: Mapping[str, Any] | None = None,
+        configs: Mapping[str, Any] | None = None,
+    ) -> None:
+        self._inputs = dict(inputs or {})
+        self._configs = dict(configs or {})
+
+    def lookup(self, space: Space, port: str) -> Any:
+        table = self._inputs if space == Space.INPUT else self._configs
+        if port not in table:
+            raise PortError(f"unbound {space.value} port {port!r}")
+        return table[port]
+
+    def bind(self, space: Space, port: str, value: Any) -> None:
+        table = self._inputs if space == Space.INPUT else self._configs
+        table[port] = value
+
+
+def input_ref(port: str, *path: str) -> Ref:
+    """Shorthand for a reference to an input port."""
+    return Ref(Space.INPUT, port, tuple(path))
+
+
+def config_ref(port: str, *path: str) -> Ref:
+    """Shorthand for a reference to a config port."""
+    return Ref(Space.CONFIG, port, tuple(path))
+
+
+def is_constant(expr: Expr) -> bool:
+    """Whether an expression references no ports (a "default constant")."""
+    return not expr.references()

@@ -1,0 +1,111 @@
+"""The Django application driver (S6.2).
+
+Install unpacks the application archive (pre-defined layout), writes
+``settings.py`` from the propagated configuration, and runs the pending
+South-style migrations against the configured database.  Start verifies
+the database / store / broker endpoints accept connections and spawns the
+WSGI worker process.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import DriverError
+from repro.django.migrations import (
+    MigrationEngine,
+    MigrationError,
+    SimDatabase,
+    migrations_from_json,
+)
+from repro.drivers.base import DriverRegistry
+from repro.drivers.library import ServiceDriver
+
+
+class DjangoAppDriver(ServiceDriver):
+    """Generic driver for every generated Django application type."""
+
+    def artifact(self) -> tuple[str, str]:
+        app_name = str(self.context.config("app_name"))
+        app_version = str(self.context.config("app_version"))
+        return f"django-app-{app_name.lower()}", app_version
+
+    def listen_ports(self):
+        return []  # requests arrive through the web server
+
+    def service_name(self) -> str:
+        return f"wsgi-{self.context.instance.id}"
+
+    # -- Install -----------------------------------------------------------
+
+    def do_install(self) -> None:
+        super().do_install()
+        self._write_settings()
+        self._run_migrations()
+
+    def _write_settings(self) -> None:
+        database = self.context.input("database")
+        webserver = self.context.input("webserver")
+        app_name = self.context.config("app_name")
+        lines = [
+            f"APP_NAME = {app_name!r}",
+            f"DEBUG = {self.context.config('debug')}",
+            f"SECRET_KEY = {self.context.config('secret_key')!r}",
+            f"DATABASE_ENGINE = {database['engine']!r}",
+            f"DATABASE_HOST = {database['host']!r}",
+            f"DATABASE_PORT = {database['port']}",
+            f"DATABASE_NAME = {database['database']!r}",
+            f"SERVED_BY = {webserver['kind']!r}",
+        ]
+        self.context.machine.fs.write_file(
+            f"{self.install_path()}/settings.py", "\n".join(lines) + "\n"
+        )
+
+    def database(self) -> SimDatabase:
+        """The application's database handle: SQLite lives on this
+        machine's filesystem; MySQL on the (possibly remote) database
+        host's."""
+        database = self.context.input("database")
+        if database["engine"] == "sqlite":
+            fs = self.context.machine.fs
+            directory = database["path"]
+        else:
+            network = self.context.infrastructure.network
+            fs = network.machine(database["host"]).fs
+            directory = database["path"]
+        return SimDatabase(fs, f"{directory}/{database['database']}.json")
+
+    def _run_migrations(self) -> None:
+        app_name = str(self.context.config("app_name"))
+        migrations_path = f"{self.install_path()}/{app_name}/migrations.json"
+        fs = self.context.machine.fs
+        if not fs.is_file(migrations_path):
+            return
+        migrations = migrations_from_json(fs.read_file(migrations_path))
+        engine = MigrationEngine(self.database())
+        try:
+            engine.migrate(migrations)
+        except MigrationError as exc:
+            raise DriverError(
+                f"{self.context.instance.id}: migration failed: {exc}"
+            ) from exc
+
+    # -- Start -------------------------------------------------------------
+
+    def upstream_endpoints(self) -> Sequence[tuple[str, int]]:
+        endpoints: list[tuple[str, int]] = []
+        database = self.context.input("database")
+        if database["engine"] != "sqlite":
+            endpoints.append((database["host"], database["port"]))
+        for record_name in ("redis", "mongodb", "cache"):
+            record = self.context.input(record_name)
+            if record:
+                endpoints.append((record["host"], record["port"]))
+        celery = self.context.input("celery")
+        if celery:
+            endpoints.append((celery["broker_host"], celery["broker_port"]))
+        return endpoints
+
+
+def register_django_app_driver(drivers: DriverRegistry) -> None:
+    drivers.register("django-app", DjangoAppDriver)

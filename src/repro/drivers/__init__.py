@@ -1,0 +1,52 @@
+"""Resource drivers: guarded state machines (S5.1, Figure 3) and the
+generic driver library (packages, archives, services, machines)."""
+
+from repro.drivers.base import DriverContext, DriverRegistry, ResourceDriver
+from repro.drivers.library import (
+    ArchiveDriver,
+    MachineDriver,
+    NullDriver,
+    PackageDriver,
+    ServiceDriver,
+    package_slug,
+)
+from repro.drivers.state_machine import (
+    ACTIVE,
+    BASIC_STATES,
+    INACTIVE,
+    UNINSTALLED,
+    Direction,
+    GuardAtom,
+    StateMachineSpec,
+    Transition,
+    down,
+    machine_state_machine,
+    package_state_machine,
+    service_state_machine,
+    up,
+)
+
+__all__ = [
+    "ACTIVE",
+    "BASIC_STATES",
+    "INACTIVE",
+    "UNINSTALLED",
+    "ArchiveDriver",
+    "Direction",
+    "DriverContext",
+    "DriverRegistry",
+    "GuardAtom",
+    "MachineDriver",
+    "NullDriver",
+    "PackageDriver",
+    "ResourceDriver",
+    "ServiceDriver",
+    "StateMachineSpec",
+    "Transition",
+    "down",
+    "machine_state_machine",
+    "package_slug",
+    "package_state_machine",
+    "service_state_machine",
+    "up",
+]

@@ -1,0 +1,153 @@
+"""Abstract syntax for the resource definition language.
+
+The paper deliberately "omit[s] describing a concrete syntax for
+resources"; this module (with the lexer/parser beside it) supplies one.
+A module is a sequence of resource declarations::
+
+    abstract resource "Server" driver "machine" {
+      config hostname: hostname = "localhost"
+      output host: { hostname: hostname } = { hostname = config.hostname }
+    }
+
+    resource "Tomcat" 6.0.18 extends "Server" driver "tomcat" {
+      inside "Server" { host -> host }
+      env "Java" { java -> java }
+      input host: { hostname: hostname }
+      config manager_port: tcp_port = 8080
+    }
+
+Dependency targets support disjunction (``"JDK" 1.6 | "JRE" 1.6``) and
+version ranges (``"Tomcat" [5.5, 6.0.29)``), both straight from S3.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+# -- Types ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TypeAst:
+    """Base of type syntax nodes."""
+
+
+@dataclass(frozen=True)
+class ScalarTypeAst(TypeAst):
+    name: str  # "string", "tcp_port", ...
+
+
+@dataclass(frozen=True)
+class RecordTypeAst(TypeAst):
+    fields: tuple[tuple[str, TypeAst], ...]
+
+
+@dataclass(frozen=True)
+class ListTypeAst(TypeAst):
+    element: TypeAst
+
+
+# -- Expressions --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExprAst:
+    """Base of expression syntax nodes."""
+
+
+@dataclass(frozen=True)
+class LitAst(ExprAst):
+    value: Any
+
+
+@dataclass(frozen=True)
+class RefAst(ExprAst):
+    space: str  # "input" | "config"
+    port: str
+    path: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class RecordAst(ExprAst):
+    fields: tuple[tuple[str, ExprAst], ...]
+
+
+@dataclass(frozen=True)
+class ListAst(ExprAst):
+    elements: tuple[ExprAst, ...]
+
+
+@dataclass(frozen=True)
+class FormatAst(ExprAst):
+    template: str
+    args: tuple[tuple[str, ExprAst], ...]
+
+
+# -- Ports --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PortDecl:
+    """``[static] (input|config|output) name: type [= expr]``"""
+
+    kind: str  # "input" | "config" | "output"
+    name: str
+    type: TypeAst
+    value: Optional[ExprAst] = None
+    static: bool = False
+
+
+# -- Dependencies ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VersionRangeAst:
+    """``[lo, hi)`` etc.; ``None`` bounds mean unbounded (``*``)."""
+
+    lo: Optional[str]
+    hi: Optional[str]
+    lo_inclusive: bool
+    hi_inclusive: bool
+
+
+@dataclass(frozen=True)
+class TargetAst:
+    """One dependency disjunct: a name plus exact version or range."""
+
+    name: str
+    version: Optional[str] = None  # exact version text, if given
+    version_range: Optional[VersionRangeAst] = None
+
+
+@dataclass(frozen=True)
+class DependencyDecl:
+    """``(inside|env|peer) targets { out -> in, ... } [reverse {...}]``"""
+
+    kind: str  # "inside" | "env" | "peer"
+    targets: tuple[TargetAst, ...]
+    mapping: tuple[tuple[str, str], ...] = ()
+    reverse: tuple[tuple[str, str], ...] = ()
+
+
+# -- Resources ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResourceDecl:
+    name: str
+    version: Optional[str]
+    abstract: bool = False
+    extends: Optional[TargetAst] = None
+    driver: Optional[str] = None
+    ports: tuple[PortDecl, ...] = ()
+    dependencies: tuple[DependencyDecl, ...] = ()
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ModuleAst:
+    """A parsed source file."""
+
+    resources: tuple[ResourceDecl, ...]

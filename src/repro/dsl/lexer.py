@@ -1,0 +1,184 @@
+"""Lexer for the resource definition language.
+
+Hand-rolled scanner producing a flat token stream with line/column
+positions for error messages.  Number-like tokens keep their raw text:
+``6.0.18`` is a version literal in dependency position and a parse error
+in expression position -- the parser decides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.errors import ParseError
+
+KEYWORDS = {
+    "abstract",
+    "resource",
+    "extends",
+    "driver",
+    "inside",
+    "env",
+    "peer",
+    "reverse",
+    "input",
+    "config",
+    "output",
+    "static",
+    "format",
+    "list",
+    "true",
+    "false",
+}
+
+
+class TokenKind(Enum):
+    STRING = "string"
+    NUMBER = "number"  # raw text: 8080, 1.5, 6.0.18
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    COLON = ":"
+    EQUALS = "="
+    COMMA = ","
+    DOT = "."
+    ARROW = "->"
+    PIPE = "|"
+    STAR = "*"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.text!r})@{self.line}:{self.column}"
+
+
+_SINGLE_CHAR = {
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ":": TokenKind.COLON,
+    "=": TokenKind.EQUALS,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    "|": TokenKind.PIPE,
+    "*": TokenKind.STAR,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Scan ``source`` into tokens (always ending with EOF)."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def error(message: str) -> ParseError:
+        return ParseError(message, line, column)
+
+    while index < length:
+        char = source[index]
+
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "#":
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+
+        if char == "-" and source[index : index + 2] == "->":
+            tokens.append(Token(TokenKind.ARROW, "->", line, column))
+            index += 2
+            column += 2
+            continue
+
+        if char == '"':
+            start_line, start_column = line, column
+            index += 1
+            column += 1
+            chars: list[str] = []
+            while index < length and source[index] != '"':
+                if source[index] == "\n":
+                    raise error("unterminated string literal")
+                if source[index] == "\\" and index + 1 < length:
+                    escape = source[index + 1]
+                    chars.append({"n": "\n", "t": "\t"}.get(escape, escape))
+                    index += 2
+                    column += 2
+                    continue
+                chars.append(source[index])
+                index += 1
+                column += 1
+            if index >= length:
+                raise error("unterminated string literal")
+            index += 1  # closing quote
+            column += 1
+            tokens.append(
+                Token(TokenKind.STRING, "".join(chars), start_line, start_column)
+            )
+            continue
+
+        if char.isdigit() or (
+            char == "-" and index + 1 < length and source[index + 1].isdigit()
+        ):
+            start_line, start_column = line, column
+            start = index
+            index += 1
+            column += 1
+            while index < length and (
+                source[index].isdigit() or source[index] == "."
+            ):
+                index += 1
+                column += 1
+            text = source[start:index]
+            if text.endswith("."):
+                raise error(f"malformed number: {text!r}")
+            tokens.append(Token(TokenKind.NUMBER, text, start_line, start_column))
+            continue
+
+        if char.isalpha() or char == "_":
+            start_line, start_column = line, column
+            start = index
+            while index < length and (
+                source[index].isalnum() or source[index] == "_"
+            ):
+                index += 1
+                column += 1
+            text = source[start:index]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, start_line, start_column))
+            continue
+
+        if char in _SINGLE_CHAR:
+            tokens.append(Token(_SINGLE_CHAR[char], char, line, column))
+            index += 1
+            column += 1
+            continue
+
+        raise error(f"unexpected character {char!r}")
+
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

@@ -1,0 +1,253 @@
+"""Lowering: DSL syntax -> the core resource-type model.
+
+Two pieces of S3.4 sugar are eliminated here:
+
+* *version ranges* expand to disjunctions over every declared version of
+  the package that satisfies the range (the universe of versions is the
+  module being lowered plus an optional pre-existing registry);
+* *disjunction targets* become multi-alternative dependencies directly.
+
+Abstract-supertype lowering is deliberately NOT done here: the paper's
+GraphGen performs the frontier expansion at configuration time, so the
+core model keeps abstract targets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.builder import define
+from repro.core.errors import ParseError, ResourceModelError
+from repro.core.keys import ResourceKey, UNVERSIONED, Version, VersionRange
+from repro.core.ports import (
+    ListType,
+    PortType,
+    RecordType,
+    scalar_by_name,
+)
+from repro.core.registry import ResourceTypeRegistry
+from repro.core.resource_type import (
+    Dependency,
+    DependencyAlternative,
+    DependencyKind,
+    PortMapping,
+    ResourceType,
+)
+from repro.core.values import (
+    Expr,
+    Format,
+    Lit,
+    ListExpr,
+    RecordExpr,
+    Ref,
+    Space,
+)
+from repro.dsl.ast import (
+    DependencyDecl,
+    ExprAst,
+    FormatAst,
+    ListAst,
+    ListTypeAst,
+    LitAst,
+    ModuleAst,
+    PortDecl,
+    RecordAst,
+    RecordTypeAst,
+    RefAst,
+    ResourceDecl,
+    ScalarTypeAst,
+    TargetAst,
+    TypeAst,
+)
+
+_DEP_KINDS = {
+    "inside": DependencyKind.INSIDE,
+    "env": DependencyKind.ENVIRONMENT,
+    "peer": DependencyKind.PEER,
+}
+
+
+def lower_type(ast: TypeAst) -> PortType:
+    if isinstance(ast, ScalarTypeAst):
+        return scalar_by_name(ast.name)
+    if isinstance(ast, RecordTypeAst):
+        return RecordType(
+            tuple(sorted((name, lower_type(t)) for name, t in ast.fields))
+        )
+    if isinstance(ast, ListTypeAst):
+        return ListType(lower_type(ast.element))
+    raise ResourceModelError(f"unknown type AST node: {ast!r}")
+
+
+def lower_expr(ast: ExprAst) -> Expr:
+    if isinstance(ast, LitAst):
+        return Lit(ast.value)
+    if isinstance(ast, RefAst):
+        space = Space.INPUT if ast.space == "input" else Space.CONFIG
+        return Ref(space, ast.port, ast.path)
+    if isinstance(ast, RecordAst):
+        return RecordExpr(
+            tuple(sorted((name, lower_expr(e)) for name, e in ast.fields))
+        )
+    if isinstance(ast, ListAst):
+        return ListExpr(tuple(lower_expr(e) for e in ast.elements))
+    if isinstance(ast, FormatAst):
+        return Format(
+            ast.template,
+            tuple(sorted((name, lower_expr(e)) for name, e in ast.args)),
+        )
+    raise ResourceModelError(f"unknown expression AST node: {ast!r}")
+
+
+class VersionUniverse:
+    """Every version declared for each package name: the module being
+    lowered plus (optionally) an existing registry."""
+
+    def __init__(
+        self,
+        module: ModuleAst,
+        registry: Optional[ResourceTypeRegistry] = None,
+    ) -> None:
+        self._versions: dict[str, set[Version]] = {}
+        for resource in module.resources:
+            if resource.version is not None:
+                self._versions.setdefault(resource.name, set()).add(
+                    Version.parse(resource.version)
+                )
+        if registry is not None:
+            for key in registry.keys():
+                if not key.version.is_unversioned():
+                    self._versions.setdefault(key.name, set()).add(key.version)
+
+    def in_range(self, name: str, version_range: VersionRange) -> list[Version]:
+        return sorted(
+            v
+            for v in self._versions.get(name, ())
+            if version_range.contains(v)
+        )
+
+
+def lower_target(
+    target: TargetAst, universe: VersionUniverse
+) -> list[ResourceKey]:
+    """A target to one or more concrete keys (ranges expand here)."""
+    if target.version is not None:
+        return [ResourceKey(target.name, Version.parse(target.version))]
+    if target.version_range is not None:
+        range_ = VersionRange(
+            lo=Version.parse(target.version_range.lo)
+            if target.version_range.lo
+            else None,
+            hi=Version.parse(target.version_range.hi)
+            if target.version_range.hi
+            else None,
+            lo_inclusive=target.version_range.lo_inclusive,
+            hi_inclusive=target.version_range.hi_inclusive,
+        )
+        versions = universe.in_range(target.name, range_)
+        if not versions:
+            raise ResourceModelError(
+                f"no declared version of {target.name!r} satisfies the "
+                f"range {range_}"
+            )
+        return [ResourceKey(target.name, v) for v in versions]
+    return [ResourceKey(target.name, UNVERSIONED)]
+
+
+def lower_dependency(
+    decl: DependencyDecl, universe: VersionUniverse
+) -> Dependency:
+    mapping = PortMapping(tuple(sorted(decl.mapping)))
+    reverse = PortMapping(tuple(sorted(decl.reverse)))
+    alternatives: list[DependencyAlternative] = []
+    seen: set[ResourceKey] = set()
+    for target in decl.targets:
+        for key in lower_target(target, universe):
+            if key not in seen:
+                seen.add(key)
+                alternatives.append(
+                    DependencyAlternative(key, mapping, reverse)
+                )
+    return Dependency(_DEP_KINDS[decl.kind], tuple(alternatives))
+
+
+def lower_resource(
+    decl: ResourceDecl, universe: VersionUniverse
+) -> ResourceType:
+    extends: Optional[ResourceKey] = None
+    if decl.extends is not None:
+        keys = lower_target(decl.extends, universe)
+        if len(keys) != 1:
+            raise ResourceModelError(
+                f"{decl.name}: 'extends' must name exactly one type"
+            )
+        extends = keys[0]
+
+    builder = define(
+        decl.name,
+        decl.version or "",
+        abstract=decl.abstract,
+        extends=extends,
+        driver=decl.driver or "null",
+    )
+
+    for port in decl.ports:
+        port_type = lower_type(port.type)
+        if port.kind == "input":
+            if port.value is not None:
+                raise ResourceModelError(
+                    f"{decl.name}: input port {port.name!r} cannot have a "
+                    "value (inputs are filled by port mappings)"
+                )
+            if port.static:
+                raise ResourceModelError(
+                    f"{decl.name}: input port {port.name!r} cannot be static"
+                )
+            builder.input(port.name, port_type)
+        elif port.kind == "config":
+            default = lower_expr(port.value) if port.value is not None else Lit(None)
+            builder.config(
+                port.name, port_type, default=default, static=port.static
+            )
+        else:
+            value = lower_expr(port.value) if port.value is not None else Lit(None)
+            builder.output(
+                port.name, port_type, value=value, static=port.static
+            )
+
+    for dep_decl in decl.dependencies:
+        dependency = lower_dependency(dep_decl, universe)
+        if dependency.kind == DependencyKind.INSIDE:
+            builder.inside_dep(dependency)
+        elif dependency.kind == DependencyKind.ENVIRONMENT:
+            builder.env_dep(dependency)
+        else:
+            builder.peer_dep(dependency)
+
+    return builder.build()
+
+
+def lower_module(
+    module: ModuleAst,
+    registry: Optional[ResourceTypeRegistry] = None,
+) -> list[ResourceType]:
+    """Lower every resource declaration of a module, in order."""
+    universe = VersionUniverse(module, registry)
+    return [lower_resource(decl, universe) for decl in module.resources]
+
+
+def load_resources(
+    source: str,
+    registry: Optional[ResourceTypeRegistry] = None,
+) -> list[ResourceType]:
+    """Parse and lower DSL source text in one step.
+
+    When ``registry`` is given, version ranges may also refer to versions
+    it already knows, and the lowered types are registered into it.
+    """
+    from repro.dsl.parser import parse_module
+
+    types = lower_module(parse_module(source), registry)
+    if registry is not None:
+        registry.register_all(types)
+    return types

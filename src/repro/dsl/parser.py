@@ -1,0 +1,334 @@
+"""Recursive-descent parser for the resource definition language.
+
+Grammar (EBNF, ``[]`` optional, ``*`` repetition)::
+
+    module    := resource*
+    resource  := ["abstract"] "resource" STRING [NUMBER]
+                 ["extends" target] ["driver" STRING] "{" item* "}"
+    item      := port | dependency
+    port      := ["static"] ("input"|"config"|"output") IDENT ":" type
+                 ["=" expr]
+    dependency:= ("inside"|"env"|"peer") target ("|" target)*
+                 [mapping] ["reverse" mapping]
+    target    := STRING [NUMBER | range]
+    range     := ("["|"(") (NUMBER|"*") "," (NUMBER|"*") ("]"|")")
+    mapping   := "{" [IDENT "->" IDENT ("," IDENT "->" IDENT)*] "}"
+    type      := IDENT | "list" "[" type "]"
+               | "{" IDENT ":" type ("," IDENT ":" type)* "}"
+    expr      := STRING | NUMBER | "true" | "false"
+               | ("input"|"config") ("." IDENT)+
+               | "{" [IDENT "=" expr ("," IDENT "=" expr)*] "}"
+               | "[" [expr ("," expr)*] "]"
+               | "format" "(" STRING ("," IDENT "=" expr)* ")"
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.errors import ParseError
+from repro.dsl.ast import (
+    DependencyDecl,
+    ExprAst,
+    FormatAst,
+    ListAst,
+    ListTypeAst,
+    LitAst,
+    ModuleAst,
+    PortDecl,
+    RecordAst,
+    RecordTypeAst,
+    RefAst,
+    ResourceDecl,
+    ScalarTypeAst,
+    TargetAst,
+    TypeAst,
+    VersionRangeAst,
+)
+from repro.dsl.lexer import Token, TokenKind, tokenize
+
+
+class Parser:
+    """One-token-lookahead recursive descent."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    # -- Token helpers -----------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.kind != TokenKind.EOF:
+            self._position += 1
+        return token
+
+    def _check(self, kind: TokenKind, text: Optional[str] = None) -> bool:
+        token = self._peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _match(self, kind: TokenKind, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if not self._check(kind, text):
+            wanted = text or kind.value
+            raise ParseError(
+                f"expected {wanted!r}, found {token.text!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _keyword(self, word: str) -> bool:
+        return self._check(TokenKind.KEYWORD, word)
+
+    # -- Entry points -----------------------------------------------------
+
+    def parse_module(self) -> ModuleAst:
+        resources: list[ResourceDecl] = []
+        while not self._check(TokenKind.EOF):
+            resources.append(self.parse_resource())
+        return ModuleAst(tuple(resources))
+
+    def parse_resource(self) -> ResourceDecl:
+        start = self._peek()
+        abstract = bool(self._match(TokenKind.KEYWORD, "abstract"))
+        self._expect(TokenKind.KEYWORD, "resource")
+        name = self._expect(TokenKind.STRING).text
+        version: Optional[str] = None
+        if self._check(TokenKind.NUMBER):
+            version = self._advance().text
+        extends: Optional[TargetAst] = None
+        if self._match(TokenKind.KEYWORD, "extends"):
+            extends = self._parse_target()
+        driver: Optional[str] = None
+        if self._match(TokenKind.KEYWORD, "driver"):
+            driver = self._expect(TokenKind.STRING).text
+        self._expect(TokenKind.LBRACE)
+        ports: list[PortDecl] = []
+        dependencies: list[DependencyDecl] = []
+        while not self._check(TokenKind.RBRACE):
+            token = self._peek()
+            if token.kind != TokenKind.KEYWORD:
+                raise ParseError(
+                    f"expected a port or dependency, found {token.text!r}",
+                    token.line,
+                    token.column,
+                )
+            if token.text in ("static", "input", "config", "output"):
+                ports.append(self._parse_port())
+            elif token.text in ("inside", "env", "peer"):
+                dependencies.append(self._parse_dependency())
+            else:
+                raise ParseError(
+                    f"unexpected keyword {token.text!r} in resource body",
+                    token.line,
+                    token.column,
+                )
+        self._expect(TokenKind.RBRACE)
+        return ResourceDecl(
+            name=name,
+            version=version,
+            abstract=abstract,
+            extends=extends,
+            driver=driver,
+            ports=tuple(ports),
+            dependencies=tuple(dependencies),
+            line=start.line,
+        )
+
+    # -- Ports -----------------------------------------------------------
+
+    def _parse_port(self) -> PortDecl:
+        static = bool(self._match(TokenKind.KEYWORD, "static"))
+        kind_token = self._advance()
+        if kind_token.text not in ("input", "config", "output"):
+            raise ParseError(
+                f"expected input/config/output, found {kind_token.text!r}",
+                kind_token.line,
+                kind_token.column,
+            )
+        name = self._expect(TokenKind.IDENT).text
+        self._expect(TokenKind.COLON)
+        type_ast = self._parse_type()
+        value: Optional[ExprAst] = None
+        if self._match(TokenKind.EQUALS):
+            value = self._parse_expr()
+        return PortDecl(
+            kind=kind_token.text,
+            name=name,
+            type=type_ast,
+            value=value,
+            static=static,
+        )
+
+    def _parse_type(self) -> TypeAst:
+        if self._match(TokenKind.KEYWORD, "list"):
+            self._expect(TokenKind.LBRACKET)
+            element = self._parse_type()
+            self._expect(TokenKind.RBRACKET)
+            return ListTypeAst(element)
+        if self._match(TokenKind.LBRACE):
+            fields: list[tuple[str, TypeAst]] = []
+            while not self._check(TokenKind.RBRACE):
+                field_name = self._expect(TokenKind.IDENT).text
+                self._expect(TokenKind.COLON)
+                fields.append((field_name, self._parse_type()))
+                if not self._match(TokenKind.COMMA):
+                    break
+            self._expect(TokenKind.RBRACE)
+            return RecordTypeAst(tuple(fields))
+        token = self._expect(TokenKind.IDENT)
+        return ScalarTypeAst(token.text)
+
+    # -- Expressions --------------------------------------------------------
+
+    def _parse_expr(self) -> ExprAst:
+        token = self._peek()
+        if token.kind == TokenKind.STRING:
+            return LitAst(self._advance().text)
+        if token.kind == TokenKind.NUMBER:
+            text = self._advance().text
+            if text.count(".") > 1:
+                raise ParseError(
+                    f"{text!r} is not a valid number", token.line, token.column
+                )
+            return LitAst(float(text) if "." in text else int(text))
+        if self._match(TokenKind.KEYWORD, "true"):
+            return LitAst(True)
+        if self._match(TokenKind.KEYWORD, "false"):
+            return LitAst(False)
+        if token.kind == TokenKind.KEYWORD and token.text in ("input", "config"):
+            return self._parse_ref()
+        if token.kind == TokenKind.LBRACE:
+            return self._parse_record_expr()
+        if token.kind == TokenKind.LBRACKET:
+            return self._parse_list_expr()
+        if self._keyword("format"):
+            return self._parse_format()
+        raise ParseError(
+            f"expected an expression, found {token.text!r}",
+            token.line,
+            token.column,
+        )
+
+    def _parse_ref(self) -> RefAst:
+        space = self._advance().text
+        self._expect(TokenKind.DOT)
+        parts = [self._expect(TokenKind.IDENT).text]
+        while self._match(TokenKind.DOT):
+            parts.append(self._expect(TokenKind.IDENT).text)
+        return RefAst(space=space, port=parts[0], path=tuple(parts[1:]))
+
+    def _parse_record_expr(self) -> RecordAst:
+        self._expect(TokenKind.LBRACE)
+        fields: list[tuple[str, ExprAst]] = []
+        while not self._check(TokenKind.RBRACE):
+            name = self._expect(TokenKind.IDENT).text
+            self._expect(TokenKind.EQUALS)
+            fields.append((name, self._parse_expr()))
+            if not self._match(TokenKind.COMMA):
+                break
+        self._expect(TokenKind.RBRACE)
+        return RecordAst(tuple(fields))
+
+    def _parse_list_expr(self) -> ListAst:
+        self._expect(TokenKind.LBRACKET)
+        elements: list[ExprAst] = []
+        while not self._check(TokenKind.RBRACKET):
+            elements.append(self._parse_expr())
+            if not self._match(TokenKind.COMMA):
+                break
+        self._expect(TokenKind.RBRACKET)
+        return ListAst(tuple(elements))
+
+    def _parse_format(self) -> FormatAst:
+        self._expect(TokenKind.KEYWORD, "format")
+        self._expect(TokenKind.LPAREN)
+        template = self._expect(TokenKind.STRING).text
+        args: list[tuple[str, ExprAst]] = []
+        while self._match(TokenKind.COMMA):
+            name = self._expect(TokenKind.IDENT).text
+            self._expect(TokenKind.EQUALS)
+            args.append((name, self._parse_expr()))
+        self._expect(TokenKind.RPAREN)
+        return FormatAst(template, tuple(args))
+
+    # -- Dependencies ----------------------------------------------------------
+
+    def _parse_dependency(self) -> DependencyDecl:
+        kind = self._advance().text  # inside | env | peer
+        targets = [self._parse_target()]
+        while self._match(TokenKind.PIPE):
+            targets.append(self._parse_target())
+        mapping: tuple[tuple[str, str], ...] = ()
+        reverse: tuple[tuple[str, str], ...] = ()
+        if self._check(TokenKind.LBRACE):
+            mapping = self._parse_mapping()
+        if self._match(TokenKind.KEYWORD, "reverse"):
+            reverse = self._parse_mapping()
+        return DependencyDecl(
+            kind=kind,
+            targets=tuple(targets),
+            mapping=mapping,
+            reverse=reverse,
+        )
+
+    def _parse_target(self) -> TargetAst:
+        name = self._expect(TokenKind.STRING).text
+        if self._check(TokenKind.NUMBER):
+            return TargetAst(name=name, version=self._advance().text)
+        if self._check(TokenKind.LBRACKET) or self._check(TokenKind.LPAREN):
+            return TargetAst(name=name, version_range=self._parse_range())
+        return TargetAst(name=name)
+
+    def _parse_range(self) -> VersionRangeAst:
+        open_token = self._advance()
+        lo_inclusive = open_token.kind == TokenKind.LBRACKET
+        lo = self._parse_bound()
+        self._expect(TokenKind.COMMA)
+        hi = self._parse_bound()
+        close = self._advance()
+        if close.kind == TokenKind.RBRACKET:
+            hi_inclusive = True
+        elif close.kind == TokenKind.RPAREN:
+            hi_inclusive = False
+        else:
+            raise ParseError(
+                f"expected ']' or ')', found {close.text!r}",
+                close.line,
+                close.column,
+            )
+        return VersionRangeAst(
+            lo=lo, hi=hi, lo_inclusive=lo_inclusive, hi_inclusive=hi_inclusive
+        )
+
+    def _parse_bound(self) -> Optional[str]:
+        if self._match(TokenKind.STAR):
+            return None
+        return self._expect(TokenKind.NUMBER).text
+
+    def _parse_mapping(self) -> tuple[tuple[str, str], ...]:
+        self._expect(TokenKind.LBRACE)
+        entries: list[tuple[str, str]] = []
+        while not self._check(TokenKind.RBRACE):
+            source = self._expect(TokenKind.IDENT).text
+            self._expect(TokenKind.ARROW)
+            target = self._expect(TokenKind.IDENT).text
+            entries.append((source, target))
+            if not self._match(TokenKind.COMMA):
+                break
+        self._expect(TokenKind.RBRACE)
+        return tuple(entries)
+
+
+def parse_module(source: str) -> ModuleAst:
+    """Parse a source file into a module AST."""
+    return Parser(tokenize(source)).parse_module()

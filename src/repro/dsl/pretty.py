@@ -1,0 +1,148 @@
+"""Pretty-printer: core resource types back to DSL source.
+
+``parse -> lower -> pretty -> parse -> lower`` is the round-trip property
+the test suite checks.  Also used to render the library as DSL text for
+documentation and for the metadata line counts reported in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.errors import ResourceModelError
+from repro.core.keys import ResourceKey
+from repro.core.ports import (
+    Binding,
+    ListType,
+    PortType,
+    RecordType,
+    ScalarType,
+)
+from repro.core.resource_type import Dependency, ResourceType
+from repro.core.values import (
+    Expr,
+    Format,
+    Lit,
+    ListExpr,
+    RecordExpr,
+    Ref,
+)
+
+
+def format_type(port_type: PortType) -> str:
+    if isinstance(port_type, ScalarType):
+        return port_type.kind.value
+    if isinstance(port_type, RecordType):
+        inner = ", ".join(
+            f"{name}: {format_type(t)}" for name, t in port_type.fields
+        )
+        return "{ " + inner + " }"
+    if isinstance(port_type, ListType):
+        return f"list[{format_type(port_type.element)}]"
+    raise ResourceModelError(f"cannot format type {port_type!r}")
+
+
+def format_expr(expr: Expr) -> str:
+    if isinstance(expr, Lit):
+        value = expr.value
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, str):
+            escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+        if isinstance(value, (int, float)):
+            return str(value)
+        if isinstance(value, dict):
+            inner = ", ".join(
+                f"{k} = {format_expr(Lit(v))}" for k, v in sorted(value.items())
+            )
+            return "{ " + inner + " }"
+        if isinstance(value, (list, tuple)):
+            return "[" + ", ".join(format_expr(Lit(v)) for v in value) + "]"
+        raise ResourceModelError(f"cannot format literal {value!r}")
+    if isinstance(expr, Ref):
+        path = "".join(f".{step}" for step in expr.path)
+        return f"{expr.space.value}.{expr.port}{path}"
+    if isinstance(expr, RecordExpr):
+        inner = ", ".join(
+            f"{name} = {format_expr(e)}" for name, e in expr.fields
+        )
+        return "{ " + inner + " }"
+    if isinstance(expr, ListExpr):
+        return "[" + ", ".join(format_expr(e) for e in expr.elements) + "]"
+    if isinstance(expr, Format):
+        args = "".join(
+            f", {name} = {format_expr(e)}" for name, e in expr.args
+        )
+        escaped = expr.template.replace("\\", "\\\\").replace('"', '\\"')
+        return f'format("{escaped}"{args})'
+    raise ResourceModelError(f"cannot format expression {expr!r}")
+
+
+def _format_key(key: ResourceKey) -> str:
+    if key.version.is_unversioned():
+        return f'"{key.name}"'
+    return f'"{key.name}" {key.version}'
+
+
+def _format_mapping(entries: tuple[tuple[str, str], ...]) -> str:
+    inner = ", ".join(f"{src} -> {dst}" for src, dst in entries)
+    return "{ " + inner + " }"
+
+
+def _format_dependency(dep: Dependency) -> str:
+    kind = {"inside": "inside", "environment": "env", "peer": "peer"}[
+        dep.kind.value
+    ]
+    targets = " | ".join(_format_key(alt.key) for alt in dep.alternatives)
+    text = f"{kind} {targets}"
+    first = dep.alternatives[0]
+    if first.port_mapping.entries:
+        text += " " + _format_mapping(first.port_mapping.entries)
+    if first.reverse_mapping.entries:
+        text += " reverse " + _format_mapping(first.reverse_mapping.entries)
+    return text
+
+
+def format_resource_type(resource_type: ResourceType) -> str:
+    """One resource type as DSL source text."""
+    header = ""
+    if resource_type.abstract:
+        header += "abstract "
+    header += f"resource {_format_key(resource_type.key)}"
+    if resource_type.extends is not None:
+        header += f" extends {_format_key(resource_type.extends)}"
+    if resource_type.driver_name and resource_type.driver_name != "null":
+        header += f' driver "{resource_type.driver_name}"'
+
+    lines = [header + " {"]
+    for dep in resource_type.dependencies():
+        lines.append(f"  {_format_dependency(dep)}")
+    for port in resource_type.input_ports:
+        lines.append(f"  input {port.name}: {format_type(port.type)}")
+    for config_port in resource_type.config_ports:
+        prefix = "static " if config_port.port.binding == Binding.STATIC else ""
+        line = (
+            f"  {prefix}config {config_port.name}: "
+            f"{format_type(config_port.port.type)}"
+        )
+        if not (isinstance(config_port.default, Lit) and config_port.default.value is None):
+            line += f" = {format_expr(config_port.default)}"
+        lines.append(line)
+    for output_port in resource_type.output_ports:
+        prefix = "static " if output_port.port.binding == Binding.STATIC else ""
+        line = (
+            f"  {prefix}output {output_port.name}: "
+            f"{format_type(output_port.port.type)}"
+        )
+        if not (isinstance(output_port.value, Lit) and output_port.value.value is None):
+            line += f" = {format_expr(output_port.value)}"
+        lines.append(line)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(types: Iterable[ResourceType]) -> str:
+    """A whole module of resource types as DSL source."""
+    return "\n\n".join(format_resource_type(t) for t in types) + "\n"

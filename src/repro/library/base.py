@@ -1,0 +1,139 @@
+"""Shared definitions for the resource library.
+
+The paper's implementation shipped "about 5K lines of resource types in
+our resource library"; this package is that library.  Here live the
+record types flowing between components, the artifact catalogue (sizes
+drive the simulated install times of E4), and the assembly helpers that
+produce a ready-to-use registry, driver registry, and package index.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.ports import (
+    BOOL,
+    HOSTNAME,
+    INT,
+    PASSWORD,
+    PATH,
+    STRING,
+    TCP_PORT,
+    ListType,
+    RecordType,
+)
+from repro.sim.infrastructure import Infrastructure
+
+# ---------------------------------------------------------------------------
+# Record types flowing along port mappings.
+# ---------------------------------------------------------------------------
+
+#: What a machine exports to everything installed on it.
+HOST_RECORD = RecordType.of(
+    hostname=HOSTNAME,
+    ip_address=STRING,
+    os_user_name=STRING,
+)
+
+#: What a Java runtime exports (JDK or JRE).
+JAVA_RECORD = RecordType.of(home=PATH, version=STRING, kind=STRING)
+
+#: What a servlet container exports to the servlets inside it.
+SERVLET_CONTAINER_RECORD = RecordType.of(
+    hostname=HOSTNAME,
+    port=TCP_PORT,
+    home=PATH,
+    manager_user=STRING,
+    manager_password=PASSWORD,
+)
+
+#: What a relational database exports to its clients.  ``engine`` is
+#: "mysql" or "sqlite"; file-backed engines use ``path`` and leave the
+#: network fields neutral.
+DATABASE_RECORD = RecordType.of(
+    engine=STRING,
+    host=HOSTNAME,
+    port=TCP_PORT,
+    database=STRING,
+    user=STRING,
+    password=PASSWORD,
+    path=PATH,
+)
+
+#: What an HTTP front end (gunicorn / apache) exports.
+WEBSERVER_RECORD = RecordType.of(kind=STRING, hostname=HOSTNAME, port=TCP_PORT)
+
+#: Key-value store endpoint (redis / memcached / mongodb).
+KV_RECORD = RecordType.of(kind=STRING, host=HOSTNAME, port=TCP_PORT)
+
+#: Message broker endpoint (rabbitmq).
+BROKER_RECORD = RecordType.of(
+    host=HOSTNAME, port=TCP_PORT, user=STRING, password=PASSWORD, vhost=STRING
+)
+
+#: A Python runtime (interpreter + site-packages root).
+PYTHON_RECORD = RecordType.of(executable=PATH, version=STRING, site_packages=PATH)
+
+#: What a Celery worker pool exports.
+CELERY_RECORD = RecordType.of(broker_host=HOSTNAME, broker_port=TCP_PORT)
+
+
+# ---------------------------------------------------------------------------
+# The artifact catalogue: package slug -> (version, size in bytes).
+# Sizes are period-realistic and drive the E4 install-time experiment.
+# ---------------------------------------------------------------------------
+
+ARTIFACTS: dict[tuple[str, str], int] = {
+    ("jdk", "1.6"): 180_000_000,
+    ("jre", "1.6"): 90_000_000,
+    ("tomcat", "5.5"): 10_000_000,
+    ("tomcat", "6.0.18"): 12_000_000,
+    ("openmrs", "1.8"): 90_000_000,
+    ("jasperreports-server", "4.2"): 310_000_000,
+    ("mysql-jdbc-connector", "5.1.17"): 4_000_000,
+    ("mysql", "5.1"): 160_000_000,
+    ("postgresql", "8.4"): 45_000_000,
+    ("sqlite", "3.7"): 3_000_000,
+    ("redis", "2.4"): 1_500_000,
+    ("mongodb", "2.0"): 40_000_000,
+    ("memcached", "1.4"): 1_000_000,
+    ("rabbitmq", "2.7"): 20_000_000,
+    ("monit", "5.3"): 1_200_000,
+    ("python-runtime", "2.7"): 55_000_000,
+    ("apache-httpd", "2.2"): 25_000_000,
+    ("gunicorn", "0.13"): 400_000,
+    ("django", "1.3"): 7_000_000,
+    ("celery", "2.4"): 2_500_000,
+    ("south", "0.7"): 500_000,
+    # The Engage slave agent itself (multi-host coordination, S5.2).
+    ("engage-agent", "1.0"): 2_000_000,
+}
+
+#: Default size for artifacts not in the catalogue (pip packages, apps).
+DEFAULT_ARTIFACT_SIZE = 800_000
+
+
+def publish_artifacts(
+    infrastructure: Infrastructure,
+    extra: Iterable[tuple[str, str, int]] = (),
+) -> None:
+    """Publish the whole catalogue (plus ``extra`` entries) into the
+    infrastructure's package index, skipping already-published ones."""
+    index = infrastructure.package_index
+    for (name, version), size in ARTIFACTS.items():
+        if not index.has(name, version):
+            index.publish_simple(name, version, size)
+    for name, version, size in extra:
+        if not index.has(name, version):
+            index.publish_simple(name, version, size)
+
+
+def ensure_artifact(
+    infrastructure: Infrastructure,
+    name: str,
+    version: str,
+    size: int = DEFAULT_ARTIFACT_SIZE,
+) -> None:
+    """Publish one artifact if the index does not know it yet."""
+    if not infrastructure.package_index.has(name, version):
+        infrastructure.package_index.publish_simple(name, version, size)

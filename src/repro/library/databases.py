@@ -1,0 +1,292 @@
+"""Databases, key-value stores, caches, and the message broker.
+
+``Database`` is an abstract type so application resources can depend on
+"a database" and let the constraint solver (or the user's partial spec)
+pick MySQL or SQLite -- the S6.2 configuration choice.  The stores the
+Django platform offers as optional components (Redis, MongoDB,
+memcached, RabbitMQ) and monit round out the catalogue.
+"""
+
+from __future__ import annotations
+
+from repro.core.builder import define
+from repro.core.ports import INT, PASSWORD, PATH, STRING, TCP_PORT
+from repro.core.resource_type import ResourceType
+from repro.core.values import Lit, RecordExpr, config_ref, input_ref
+from repro.drivers.base import DriverRegistry
+from repro.drivers.library import PackageDriver, ServiceDriver
+from repro.library.base import (
+    BROKER_RECORD,
+    DATABASE_RECORD,
+    HOST_RECORD,
+    KV_RECORD,
+)
+
+
+def database_types() -> list[ResourceType]:
+    """Abstract ``Database`` with MySQL and SQLite beneath it."""
+    database = (
+        define("Database", abstract=True, driver="package")
+        .inside("Server", host="host")
+        .input("host", HOST_RECORD)
+        .config("database_name", STRING, "app")
+        .output("database", DATABASE_RECORD)
+        .build()
+    )
+    mysql = (
+        define("MySQL", "5.1", extends="Database", driver="mysql")
+        .config("port", TCP_PORT, 3306)
+        .config("user", STRING, "root")
+        .config("password", PASSWORD, "mysql-root")
+        .output(
+            "database",
+            DATABASE_RECORD,
+            value=RecordExpr.of(
+                engine=Lit("mysql"),
+                host=input_ref("host", "hostname"),
+                port=config_ref("port"),
+                database=config_ref("database_name"),
+                user=config_ref("user"),
+                password=config_ref("password"),
+                path=Lit("/var/lib/mysql"),
+            ),
+        )
+        .build()
+    )
+    postgres = (
+        define("PostgreSQL", "8.4", extends="Database", driver="postgres")
+        .config("port", TCP_PORT, 5432)
+        .config("user", STRING, "postgres")
+        .config("password", PASSWORD, "postgres")
+        .output(
+            "database",
+            DATABASE_RECORD,
+            value=RecordExpr.of(
+                engine=Lit("postgres"),
+                host=input_ref("host", "hostname"),
+                port=config_ref("port"),
+                database=config_ref("database_name"),
+                user=config_ref("user"),
+                password=config_ref("password"),
+                path=Lit("/var/lib/postgresql"),
+            ),
+        )
+        .build()
+    )
+    sqlite = (
+        define("SQLite", "3.7", extends="Database", driver="sqlite")
+        .config("data_dir", PATH, "/var/lib/sqlite")
+        .output(
+            "database",
+            DATABASE_RECORD,
+            value=RecordExpr.of(
+                engine=Lit("sqlite"),
+                host=Lit("localhost"),
+                port=Lit(0),
+                database=config_ref("database_name"),
+                user=Lit(""),
+                password=Lit(""),
+                path=config_ref("data_dir"),
+            ),
+        )
+        .build()
+    )
+    return [database, mysql, postgres, sqlite]
+
+
+def store_types() -> list[ResourceType]:
+    """Redis, MongoDB, memcached, RabbitMQ, and monit."""
+    redis = (
+        define("Redis", "2.4", driver="redis")
+        .inside("Server", host="host")
+        .input("host", HOST_RECORD)
+        .config("port", TCP_PORT, 6379)
+        .output(
+            "kv",
+            KV_RECORD,
+            value=RecordExpr.of(
+                kind=Lit("redis"),
+                host=input_ref("host", "hostname"),
+                port=config_ref("port"),
+            ),
+        )
+        .build()
+    )
+    mongodb = (
+        define("MongoDB", "2.0", driver="mongodb")
+        .inside("Server", host="host")
+        .input("host", HOST_RECORD)
+        .config("port", TCP_PORT, 27017)
+        .output(
+            "kv",
+            KV_RECORD,
+            value=RecordExpr.of(
+                kind=Lit("mongodb"),
+                host=input_ref("host", "hostname"),
+                port=config_ref("port"),
+            ),
+        )
+        .build()
+    )
+    memcached = (
+        define("Memcached", "1.4", driver="memcached")
+        .inside("Server", host="host")
+        .input("host", HOST_RECORD)
+        .config("port", TCP_PORT, 11211)
+        .config("memory_mb", INT, 64)
+        .output(
+            "kv",
+            KV_RECORD,
+            value=RecordExpr.of(
+                kind=Lit("memcached"),
+                host=input_ref("host", "hostname"),
+                port=config_ref("port"),
+            ),
+        )
+        .build()
+    )
+    rabbitmq = (
+        define("RabbitMQ", "2.7", driver="rabbitmq")
+        .inside("Server", host="host")
+        .input("host", HOST_RECORD)
+        .config("port", TCP_PORT, 5672)
+        .config("user", STRING, "guest")
+        .config("password", PASSWORD, "guest")
+        .config("vhost", STRING, "/")
+        .output(
+            "broker",
+            BROKER_RECORD,
+            value=RecordExpr.of(
+                host=input_ref("host", "hostname"),
+                port=config_ref("port"),
+                user=config_ref("user"),
+                password=config_ref("password"),
+                vhost=config_ref("vhost"),
+            ),
+        )
+        .build()
+    )
+    monit = (
+        define("Monit", "5.3", driver="monit")
+        .inside("Server", host="host")
+        .input("host", HOST_RECORD)
+        .config("port", TCP_PORT, 2812)
+        .output(
+            "monit",
+            KV_RECORD,
+            value=RecordExpr.of(
+                kind=Lit("monit"),
+                host=input_ref("host", "hostname"),
+                port=config_ref("port"),
+            ),
+        )
+        .build()
+    )
+    return [redis, mongodb, memcached, rabbitmq, monit]
+
+
+# ---------------------------------------------------------------------------
+# Drivers
+# ---------------------------------------------------------------------------
+
+
+class MySqlDriver(ServiceDriver):
+    """MySQL: package install, a data directory that *survives*
+    uninstall (so upgrades preserve content, as in the FA case study),
+    and a daemon on the configured port."""
+
+    def service_name(self) -> str:
+        return f"mysqld-{self.context.instance.id}"
+
+    def write_config_files(self) -> None:
+        fs = self.context.machine.fs
+        if not fs.is_dir("/var/lib/mysql"):
+            fs.mkdir("/var/lib/mysql")
+        fs.write_file(
+            "/etc/my.cnf",
+            f"[mysqld]\nport={self.context.config('port')}\n",
+        )
+
+    def do_uninstall(self) -> None:
+        # Remove the server package but keep /var/lib/mysql: dropping the
+        # data directory on uninstall would destroy user content on every
+        # worst-case upgrade.
+        self.do_stop()
+        name, _ = self.artifact()
+        if self.context.package_manager.is_installed(name):
+            self.context.package_manager.remove(name)
+
+
+class PostgresDriver(ServiceDriver):
+    """PostgreSQL: same data-directory discipline as MySQL."""
+
+    def service_name(self) -> str:
+        return f"postgres-{self.context.instance.id}"
+
+    def write_config_files(self) -> None:
+        fs = self.context.machine.fs
+        if not fs.is_dir("/var/lib/postgresql"):
+            fs.mkdir("/var/lib/postgresql")
+        fs.write_file(
+            "/etc/postgresql.conf",
+            f"port = {self.context.config('port')}\n",
+        )
+
+    def do_uninstall(self) -> None:
+        self.do_stop()
+        name, _ = self.artifact()
+        if self.context.package_manager.is_installed(name):
+            self.context.package_manager.remove(name)
+
+
+class SqliteDriver(PackageDriver):
+    """SQLite: a library, not a daemon; ensures the data directory."""
+
+    def do_install(self) -> None:
+        super().do_install()
+        fs = self.context.machine.fs
+        data_dir = self.context.config("data_dir", "/var/lib/sqlite")
+        if not fs.is_dir(data_dir):
+            fs.mkdir(data_dir)
+
+    def do_uninstall(self) -> None:
+        # Keep the data directory, mirroring MySqlDriver.
+        name, _ = self.artifact()
+        if self.context.package_manager.is_installed(name):
+            self.context.package_manager.remove(name)
+
+
+class RedisDriver(ServiceDriver):
+    def service_name(self) -> str:
+        return f"redis-server-{self.context.instance.id}"
+
+
+class MongoDbDriver(ServiceDriver):
+    def service_name(self) -> str:
+        return f"mongod-{self.context.instance.id}"
+
+
+class MemcachedDriver(ServiceDriver):
+    def service_name(self) -> str:
+        return f"memcached-{self.context.instance.id}"
+
+
+class RabbitMqDriver(ServiceDriver):
+    def service_name(self) -> str:
+        return f"rabbitmq-server-{self.context.instance.id}"
+
+
+class MonitDriver(ServiceDriver):
+    def service_name(self) -> str:
+        return f"monit-{self.context.instance.id}"
+
+
+def register_store_drivers(drivers: DriverRegistry) -> None:
+    drivers.register("mysql", MySqlDriver)
+    drivers.register("postgres", PostgresDriver)
+    drivers.register("sqlite", SqliteDriver)
+    drivers.register("redis", RedisDriver)
+    drivers.register("mongodb", MongoDbDriver)
+    drivers.register("memcached", MemcachedDriver)
+    drivers.register("rabbitmq", RabbitMqDriver)
+    drivers.register("monit", MonitDriver)

@@ -1,0 +1,242 @@
+"""The Django platform stack (S6.2).
+
+"Engage allows the following (independent) configuration choices for
+Django applications: OS (4), web server (Gunicorn or Apache), database
+(SQLite or MySQL), optional components (RabbitMQ/Celery, Redis,
+memcached), optional monitoring (Monit) -- 256 distinct deployment
+configurations on a single node."
+
+``Django-App`` is the abstract parent of generated per-application types
+(see :mod:`repro.django.packager`); its dependencies on the abstract
+``WebServer`` and ``Database`` are what make those choices solver-driven
+when the partial spec does not pin them.
+"""
+
+from __future__ import annotations
+
+from repro.core.builder import define
+from repro.core.ports import BOOL, INT, PASSWORD, PATH, STRING, TCP_PORT
+from repro.core.resource_type import ResourceType
+from repro.core.values import Format, Lit, RecordExpr, config_ref, input_ref
+from repro.drivers.base import DriverRegistry
+from repro.drivers.library import PackageDriver, ServiceDriver
+from repro.library.base import (
+    BROKER_RECORD,
+    CELERY_RECORD,
+    DATABASE_RECORD,
+    HOST_RECORD,
+    PYTHON_RECORD,
+    WEBSERVER_RECORD,
+)
+
+
+def python_types() -> list[ResourceType]:
+    """The Python runtime and platform-level Python packages."""
+    python = (
+        define("Python-Runtime", "2.7", driver="package")
+        .inside("Server", host="host")
+        .input("host", HOST_RECORD)
+        .output(
+            "python",
+            PYTHON_RECORD,
+            value=RecordExpr.of(
+                executable=Lit("/opt/python-runtime-2.7/bin/python"),
+                version=Lit("2.7"),
+                site_packages=Lit(
+                    "/opt/python-runtime-2.7/lib/python2.7/site-packages"
+                ),
+            ),
+        )
+        .build()
+    )
+    django = (
+        define("Django", "1.3", driver="package")
+        .inside("Server", host="host")
+        .input("host", HOST_RECORD)
+        .env("Python-Runtime 2.7", python="python")
+        .input("python", PYTHON_RECORD)
+        .output("django_version", STRING, value=Lit("1.3"))
+        .build()
+    )
+    south = (
+        define("South", "0.7", driver="package")
+        .inside("Server", host="host")
+        .input("host", HOST_RECORD)
+        .env("Python-Runtime 2.7", python="python")
+        .input("python", PYTHON_RECORD)
+        .output("south_version", STRING, value=Lit("0.7"))
+        .build()
+    )
+    return [python, django, south]
+
+
+def webserver_types() -> list[ResourceType]:
+    """Abstract ``WebServer`` with Gunicorn and Apache beneath it."""
+    webserver = (
+        define("WebServer", abstract=True, driver="service")
+        .inside("Server", host="host")
+        .input("host", HOST_RECORD)
+        .config("port", TCP_PORT, 8000)
+        .output("webserver", WEBSERVER_RECORD)
+        .build()
+    )
+    gunicorn = (
+        define("Gunicorn", "0.13", extends="WebServer", driver="gunicorn")
+        .env("Python-Runtime 2.7", python="python")
+        .input("python", PYTHON_RECORD)
+        .config("workers", INT, 4)
+        .output(
+            "webserver",
+            WEBSERVER_RECORD,
+            value=RecordExpr.of(
+                kind=Lit("gunicorn"),
+                hostname=input_ref("host", "hostname"),
+                port=config_ref("port"),
+            ),
+        )
+        .build()
+    )
+    apache = (
+        define("Apache-HTTPD", "2.2", extends="WebServer", driver="apache")
+        .config("port", TCP_PORT, 80)
+        .output(
+            "webserver",
+            WEBSERVER_RECORD,
+            value=RecordExpr.of(
+                kind=Lit("apache"),
+                hostname=input_ref("host", "hostname"),
+                port=config_ref("port"),
+            ),
+        )
+        .build()
+    )
+    return [webserver, gunicorn, apache]
+
+
+def celery_types() -> list[ResourceType]:
+    """Celery workers, connected to RabbitMQ as a peer."""
+    celery = (
+        define("Celery", "2.4", driver="celery")
+        .inside("Server", host="host")
+        .input("host", HOST_RECORD)
+        .env("Python-Runtime 2.7", python="python")
+        .input("python", PYTHON_RECORD)
+        .peer("RabbitMQ 2.7", broker="broker")
+        .input("broker", BROKER_RECORD)
+        .config("concurrency", INT, 2)
+        .output(
+            "celery",
+            CELERY_RECORD,
+            value=RecordExpr.of(
+                broker_host=input_ref("broker", "host"),
+                broker_port=input_ref("broker", "port"),
+            ),
+        )
+        .build()
+    )
+    return [celery]
+
+
+def django_app_base() -> ResourceType:
+    """The abstract parent of generated Django application types.
+
+    Dependencies: inside a Server, Django + a WebServer on the same
+    machine, a Database as a peer (possibly remote -- the WebApp
+    production topology runs MySQL on its own node).
+    """
+    return (
+        define("Django-App", abstract=True, driver="django-app")
+        .inside("Server", host="host")
+        .input("host", HOST_RECORD)
+        .env("Django 1.3", django_version="django_version")
+        .input("django_version", STRING)
+        .env("WebServer", webserver="webserver")
+        .input("webserver", WEBSERVER_RECORD)
+        .peer("Database", database="database")
+        .input("database", DATABASE_RECORD)
+        .config("app_name", STRING, "app", static=True)
+        .config("app_version", STRING, "1.0", static=True)
+        .config("secret_key", PASSWORD, "change-me")
+        .config("debug", BOOL, False)
+        .output(
+            "url",
+            STRING,
+            value=Format.of(
+                "http://{host}:{port}/",
+                host=input_ref("webserver", "hostname"),
+                port=input_ref("webserver", "port"),
+            ),
+        )
+        .build()
+    )
+
+
+def pip_package_type(name: str, version: str) -> ResourceType:
+    """A resource type for one PyPI package (the "declarative enumeration
+    of Python packages" of S6.2)."""
+    return (
+        define(f"PyPkg-{name}", version, driver="pip-package")
+        .inside("Server", host="host")
+        .input("host", HOST_RECORD)
+        .env("Python-Runtime 2.7", python="python")
+        .input("python", PYTHON_RECORD)
+        .output("module", STRING, value=Lit(name))
+        .build()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Drivers
+# ---------------------------------------------------------------------------
+
+
+class GunicornDriver(ServiceDriver):
+    def service_name(self) -> str:
+        return f"gunicorn-{self.context.instance.id}"
+
+
+class ApacheDriver(ServiceDriver):
+    package_name = "apache-httpd"
+
+    def service_name(self) -> str:
+        return f"httpd-{self.context.instance.id}"
+
+    def write_config_files(self) -> None:
+        fs = self.context.machine.fs
+        fs.write_file(
+            "/etc/httpd.conf", f"Listen {self.context.config('port')}\n"
+        )
+
+
+class CeleryDriver(ServiceDriver):
+    """A worker pool: no listening port, but startup requires the broker
+    to accept connections."""
+
+    def listen_ports(self):
+        return []
+
+    def service_name(self) -> str:
+        return f"celeryd-{self.context.instance.id}"
+
+    def upstream_endpoints(self):
+        broker = self.context.input("broker")
+        return [(broker["host"], broker["port"])]
+
+
+class PipPackageDriver(PackageDriver):
+    """pip install into the runtime's site-packages."""
+
+    install_root = "/opt/python-runtime-2.7/lib/python2.7/site-packages"
+
+    def artifact(self) -> tuple[str, str]:
+        # Key name is "PyPkg-<dist>"; the artifact drops the prefix.
+        name = self.context.instance.key.name
+        dist = name[len("PyPkg-"):] if name.startswith("PyPkg-") else name
+        return f"pypi-{dist.lower()}", str(self.context.instance.key.version)
+
+
+def register_django_stack_drivers(drivers: DriverRegistry) -> None:
+    drivers.register("gunicorn", GunicornDriver)
+    drivers.register("apache", ApacheDriver)
+    drivers.register("celery", CeleryDriver)
+    drivers.register("pip-package", PipPackageDriver)

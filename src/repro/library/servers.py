@@ -1,0 +1,56 @@
+"""Server resource types.
+
+``Server`` is the abstract root of all machines (Figure 1); concrete
+subtypes fix the operating system.  The OS identity lives in *static*
+config ports -- constants of each subtype -- which is what provisioning
+reads to choose a cloud image (S5.2).
+"""
+
+from __future__ import annotations
+
+from repro.core.builder import define
+from repro.core.ports import Binding, HOSTNAME, STRING
+from repro.core.resource_type import ResourceType
+from repro.core.values import RecordExpr, config_ref
+from repro.library.base import HOST_RECORD
+
+
+def _server_subtype(
+    name: str, version: str, os_name: str, os_version: str
+) -> ResourceType:
+    return (
+        define(name, version, extends="Server", driver="machine")
+        .config("os_name", STRING, os_name, static=True)
+        .config("os_version", STRING, os_version, static=True)
+        .build()
+    )
+
+
+def server_types() -> list[ResourceType]:
+    """The abstract ``Server`` and its concrete OS subtypes."""
+    server = (
+        define("Server", abstract=True, driver="machine")
+        .config("hostname", HOSTNAME, "localhost")
+        .config("ip_address", STRING, "127.0.0.1")
+        .config("os_user_name", STRING, "root")
+        .config("os_name", STRING, "generic", static=True)
+        .config("os_version", STRING, "0", static=True)
+        .output(
+            "host",
+            HOST_RECORD,
+            value=RecordExpr.of(
+                hostname=config_ref("hostname"),
+                ip_address=config_ref("ip_address"),
+                os_user_name=config_ref("os_user_name"),
+            ),
+        )
+        .build()
+    )
+    return [
+        server,
+        _server_subtype("Mac-OSX", "10.5", "mac-osx", "10.5"),
+        _server_subtype("Mac-OSX", "10.6", "mac-osx", "10.6"),
+        _server_subtype("Ubuntu-Linux", "10.04", "ubuntu-linux", "10.04"),
+        _server_subtype("Ubuntu-Linux", "10.10", "ubuntu-linux", "10.10"),
+        _server_subtype("Windows-XP", "5.1", "windows", "5.1"),
+    ]

@@ -1,0 +1,62 @@
+"""The Engage runtime (S5): deployment engine, multi-host coordination,
+provisioning, monitoring, and upgrades with rollback."""
+
+from repro.runtime.coordinator import (
+    MasterCoordinator,
+    MultiHostDeployment,
+    MultiHostReport,
+    machine_waves,
+    split_spec,
+)
+from repro.runtime.deploy import (
+    ActionRecord,
+    DeployedSystem,
+    DeploymentEngine,
+    DeploymentReport,
+    standard_driver_registry,
+)
+from repro.runtime.monitor import (
+    MONIT_KEY,
+    MonitorEvent,
+    ProcessMonitor,
+    add_monitoring,
+)
+from repro.runtime.provision import (
+    discover_machine,
+    machine_os_identity,
+    provision_partial_spec,
+)
+from repro.runtime.state import STATE_FORMAT, load_system, save_system
+from repro.runtime.upgrade import (
+    SpecDiff,
+    UpgradeEngine,
+    UpgradeResult,
+    diff_specs,
+)
+
+__all__ = [
+    "ActionRecord",
+    "DeployedSystem",
+    "DeploymentEngine",
+    "DeploymentReport",
+    "MasterCoordinator",
+    "MultiHostDeployment",
+    "MultiHostReport",
+    "MONIT_KEY",
+    "MonitorEvent",
+    "ProcessMonitor",
+    "SpecDiff",
+    "UpgradeEngine",
+    "UpgradeResult",
+    "add_monitoring",
+    "diff_specs",
+    "discover_machine",
+    "load_system",
+    "machine_os_identity",
+    "save_system",
+    "STATE_FORMAT",
+    "machine_waves",
+    "provision_partial_spec",
+    "split_spec",
+    "standard_driver_registry",
+]

@@ -1,0 +1,192 @@
+"""Multi-host deployment coordination (S5.2).
+
+"The implementation of a multi-host install can be simplified if one can
+partially order the machines ... In this case, we can break the overall
+install specification into per-node specifications and run a slave
+instance of Engage on each target host.  The entire deployment is then
+coordinated from a master host, with each slave running with no awareness
+of the others.  Slave deployments can run in parallel when the slaves
+have no inter-dependencies."
+
+The master computes the machine partial order
+(:meth:`~repro.core.instances.InstallSpec.machine_order`), splits the
+full spec into per-node specs (cross-machine links are dropped -- port
+values were already propagated globally, so slaves need no awareness of
+remote instances), and deploys machine by machine.  Machines in the same
+*wave* (no cross-dependency between them) could deploy in parallel; the
+report records both the sequential cost and the per-wave makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.errors import DeploymentError
+from repro.core.instances import InstallSpec, ResourceInstance
+from repro.core.registry import ResourceTypeRegistry
+from repro.drivers.base import DriverRegistry
+from repro.runtime.deploy import DeployedSystem, DeploymentEngine
+from repro.sim.infrastructure import Infrastructure
+
+
+def split_spec(spec: InstallSpec) -> dict[str, InstallSpec]:
+    """Per-node installation specifications, keyed by machine instance id.
+
+    Each sub-spec contains exactly the instances whose physical context is
+    that machine, with links to instances on *other* machines removed
+    (their configuration influence already flowed during propagation).
+    """
+    per_node: dict[str, list[ResourceInstance]] = {}
+    machine_of = {inst.id: inst.machine_id(spec) for inst in spec}
+    for instance in spec:
+        machine_id = machine_of[instance.id]
+        local = lambda link: machine_of[link.target.id] == machine_id
+        trimmed = replace(
+            instance,
+            environment=tuple(l for l in instance.environment if local(l)),
+            peers=tuple(l for l in instance.peers if local(l)),
+        )
+        per_node.setdefault(machine_id, []).append(trimmed)
+    return {
+        machine_id: InstallSpec(instances)
+        for machine_id, instances in per_node.items()
+    }
+
+
+def machine_waves(spec: InstallSpec) -> list[list[str]]:
+    """Group machines into dependency levels: every machine in wave *i*
+    depends only on machines in waves < *i*, so a wave deploys in
+    parallel."""
+    machine_of = {inst.id: inst.machine_id(spec) for inst in spec}
+    machines = sorted(set(machine_of.values()))
+    prerequisites: dict[str, set[str]] = {m: set() for m in machines}
+    for instance in spec:
+        m2 = machine_of[instance.id]
+        for upstream in instance.upstream_ids():
+            m1 = machine_of[upstream]
+            if m1 != m2:
+                prerequisites[m2].add(m1)
+
+    waves: list[list[str]] = []
+    placed: set[str] = set()
+    remaining = set(machines)
+    while remaining:
+        wave = sorted(
+            m for m in remaining if prerequisites[m] <= placed
+        )
+        if not wave:
+            raise DeploymentError(
+                "cross-machine dependency cycle; cannot order machines"
+            )
+        waves.append(wave)
+        placed.update(wave)
+        remaining.difference_update(wave)
+    return waves
+
+
+#: The slave-agent package installed on every target host (S5.2: "run a
+#: slave instance of Engage on each target host").
+AGENT_PACKAGE = ("engage-agent", "1.0")
+
+
+@dataclass
+class MultiHostReport:
+    """Costs of a coordinated deployment."""
+
+    waves: list[list[str]] = field(default_factory=list)
+    per_machine_seconds: dict[str, float] = field(default_factory=dict)
+    sequential_seconds: float = 0.0
+    #: Sum over waves of the slowest slave in the wave.
+    parallel_makespan_seconds: float = 0.0
+    #: Hostnames where the coordinator installed the slave agent.
+    agents_installed: list[str] = field(default_factory=list)
+
+
+class MultiHostDeployment:
+    """The deployed slaves plus the coordination report."""
+
+    def __init__(
+        self,
+        spec: InstallSpec,
+        slaves: dict[str, DeployedSystem],
+        report: MultiHostReport,
+    ) -> None:
+        self.spec = spec
+        self.slaves = slaves
+        self.report = report
+
+    def states(self) -> dict[str, str]:
+        states: dict[str, str] = {}
+        for slave in self.slaves.values():
+            states.update(slave.states())
+        return states
+
+    def is_deployed(self) -> bool:
+        return all(slave.is_deployed() for slave in self.slaves.values())
+
+
+class MasterCoordinator:
+    """Coordinates slave deployments machine by machine."""
+
+    def __init__(
+        self,
+        registry: ResourceTypeRegistry,
+        infrastructure: Infrastructure,
+        driver_registry: Optional[DriverRegistry] = None,
+    ) -> None:
+        self.registry = registry
+        self.infrastructure = infrastructure
+        self.driver_registry = driver_registry
+
+    def deploy(self, spec: InstallSpec) -> MultiHostDeployment:
+        per_node = split_spec(spec)
+        waves = machine_waves(spec)
+        report = MultiHostReport(waves=waves)
+        slaves: dict[str, DeployedSystem] = {}
+        for wave in waves:
+            wave_durations: list[float] = []
+            for machine_id in wave:
+                engine = DeploymentEngine(
+                    self.registry, self.infrastructure, self.driver_registry
+                )
+                started = self.infrastructure.clock.now
+                self._install_agent(
+                    engine, per_node[machine_id], report
+                )
+                slaves[machine_id] = engine.deploy(per_node[machine_id])
+                duration = self.infrastructure.clock.now - started
+                report.per_machine_seconds[machine_id] = duration
+                wave_durations.append(duration)
+            report.parallel_makespan_seconds += max(wave_durations, default=0.0)
+        report.sequential_seconds = sum(report.per_machine_seconds.values())
+        return MultiHostDeployment(spec, slaves, report)
+
+    def _install_agent(
+        self,
+        engine: DeploymentEngine,
+        sub_spec: InstallSpec,
+        report: MultiHostReport,
+    ) -> None:
+        """Install the Engage slave agent on the target host before the
+        slave deployment runs (idempotent)."""
+        name, version = AGENT_PACKAGE
+        if not self.infrastructure.package_index.has(name, version):
+            self.infrastructure.package_index.publish_simple(
+                name, version, 2_000_000
+            )
+        for machine in engine._resolve_machines(sub_spec).values():
+            manager = self.infrastructure.package_manager(machine)
+            if not manager.is_installed(name):
+                manager.install(name, version)
+                report.agents_installed.append(machine.hostname)
+
+    def shutdown(self, deployment: MultiHostDeployment) -> None:
+        """Stop slaves in reverse machine order."""
+        for wave in reversed(deployment.report.waves):
+            for machine_id in reversed(wave):
+                engine = DeploymentEngine(
+                    self.registry, self.infrastructure, self.driver_registry
+                )
+                slave = deployment.slaves[machine_id]
+                engine.shutdown(slave)

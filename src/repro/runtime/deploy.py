@@ -1,0 +1,346 @@
+"""The deployment engine (S5.2).
+
+"Given a full installation specification, the deployment engine executes
+commands on the resource drivers for each resource instance in the
+specification such that every driver state machine is in its active
+state.  At this point, the system is defined to be deployed."
+
+Instances are processed in dependency order; before every transition the
+engine checks the transition's guard against the tracked states of the
+upstream and downstream neighbours, exactly as the runtime system of the
+paper does.  Besides the sequential simulated cost, the engine records
+per-instance durations and computes the *critical-path makespan* -- the
+wall-clock a maximally parallel deployment would need ("the process can
+be performed in parallel, as long as the dependency ordering is met").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.errors import DeploymentError, GuardError
+from repro.core.instances import InstallSpec, ResourceInstance
+from repro.core.registry import ResourceTypeRegistry
+from repro.drivers.base import DriverContext, DriverRegistry, ResourceDriver
+from repro.drivers.library import MachineDriver, NullDriver
+from repro.drivers.state_machine import ACTIVE, INACTIVE, UNINSTALLED
+from repro.sim.infrastructure import Infrastructure
+from repro.sim.machine import Machine, OsIdentity
+
+
+def standard_driver_registry() -> DriverRegistry:
+    """A registry pre-loaded with the generic drivers."""
+    from repro.drivers.library import ArchiveDriver, PackageDriver, ServiceDriver
+
+    registry = DriverRegistry()
+    registry.register("null", NullDriver)
+    registry.register("machine", MachineDriver)
+    registry.register("package", PackageDriver)
+    registry.register("archive", ArchiveDriver)
+    registry.register("service", ServiceDriver)
+    return registry
+
+
+@dataclass
+class ActionRecord:
+    """One driver action executed during deployment."""
+
+    instance_id: str
+    action: str
+    started_at: float
+    duration: float
+
+
+@dataclass
+class DeploymentReport:
+    """What a deploy/stop/uninstall pass did and what it cost."""
+
+    actions: list[ActionRecord] = field(default_factory=list)
+    sequential_seconds: float = 0.0
+    makespan_seconds: float = 0.0
+
+    def actions_for(self, instance_id: str) -> list[ActionRecord]:
+        return [a for a in self.actions if a.instance_id == instance_id]
+
+
+class DeployedSystem:
+    """A deployed application: the spec plus live driver state."""
+
+    def __init__(
+        self,
+        spec: InstallSpec,
+        registry: ResourceTypeRegistry,
+        infrastructure: Infrastructure,
+        drivers: dict[str, ResourceDriver],
+        machines: dict[str, Machine],
+    ) -> None:
+        self.spec = spec
+        self.registry = registry
+        self.infrastructure = infrastructure
+        self.drivers = drivers
+        self.machines = machines
+        self.report: Optional[DeploymentReport] = None
+
+    def driver(self, instance_id: str) -> ResourceDriver:
+        return self.drivers[instance_id]
+
+    def state_of(self, instance_id: str) -> str:
+        return self.drivers[instance_id].state
+
+    def states(self) -> dict[str, str]:
+        return {iid: d.state for iid, d in self.drivers.items()}
+
+    def is_deployed(self) -> bool:
+        return all(d.state == ACTIVE for d in self.drivers.values())
+
+    def machine_for(self, instance_id: str) -> Machine:
+        machine_instance_id = self.spec[instance_id].machine_id(self.spec)
+        return self.machines[machine_instance_id]
+
+    def describe(self) -> str:
+        """A human-readable status report (the `engage status` view)."""
+        lines = ["instance          type                         state"]
+        for instance in self.spec.topological_order():
+            lines.append(
+                f"{instance.id:<17} {str(instance.key):<28} "
+                f"{self.state_of(instance.id)}"
+            )
+        processes = sum(
+            len(machine.running_processes())
+            for machine in set(self.machines.values())
+        )
+        lines.append(
+            f"-- {len(self.spec)} instances on "
+            f"{len(set(self.machines.values()))} machine(s), "
+            f"{processes} running process(es)"
+        )
+        return "\n".join(lines)
+
+
+class DeploymentEngine:
+    """Drives every resource driver to its target basic state in
+    dependency order, with guard checking."""
+
+    def __init__(
+        self,
+        registry: ResourceTypeRegistry,
+        infrastructure: Infrastructure,
+        driver_registry: Optional[DriverRegistry] = None,
+    ) -> None:
+        self.registry = registry
+        self.infrastructure = infrastructure
+        self.driver_registry = driver_registry or standard_driver_registry()
+
+    # -- Deploy ------------------------------------------------------------
+
+    def deploy(self, spec: InstallSpec) -> DeployedSystem:
+        """Install, configure, and start everything; returns the deployed
+        system with every driver in ``active``."""
+        machines = self._resolve_machines(spec)
+        drivers = self._create_drivers(spec, machines)
+        system = DeployedSystem(
+            spec, self.registry, self.infrastructure, drivers, machines
+        )
+        system.report = self._drive_all(system, ACTIVE, reverse=False)
+        return system
+
+    def _resolve_machines(self, spec: InstallSpec) -> dict[str, Machine]:
+        """Map machine instances to simulated machines, creating any that
+        provisioning has not already placed on the network."""
+        machines: dict[str, Machine] = {}
+        for instance in spec.machines():
+            hostname = instance.config.get("hostname")
+            if not hostname:
+                host_record = instance.outputs.get("host")
+                if isinstance(host_record, dict):
+                    hostname = host_record.get("hostname")
+            if not hostname:
+                raise DeploymentError(
+                    f"machine instance {instance.id!r} has no hostname; "
+                    "run provisioning first"
+                )
+            network = self.infrastructure.network
+            if network.has_machine(hostname):
+                machines[instance.id] = network.machine(hostname)
+            else:
+                machines[instance.id] = self.infrastructure.add_machine(
+                    hostname,
+                    str(instance.config.get("os_name", "ubuntu-linux")),
+                    str(instance.config.get("os_version", "10.04")),
+                )
+        return machines
+
+    def _create_drivers(
+        self, spec: InstallSpec, machines: dict[str, Machine]
+    ) -> dict[str, ResourceDriver]:
+        drivers: dict[str, ResourceDriver] = {}
+        for instance in spec:
+            resource_type = self.registry.effective(instance.key)
+            machine = machines[instance.machine_id(spec)]
+            context = DriverContext(
+                instance=instance,
+                resource_type=resource_type,
+                machine=machine,
+                infrastructure=self.infrastructure,
+                spec=spec,
+            )
+            if instance.is_machine():
+                driver: ResourceDriver = MachineDriver(context)
+            else:
+                driver = self.driver_registry.create(
+                    resource_type.driver_name, context
+                )
+            drivers[instance.id] = driver
+        return drivers
+
+    # -- State transitions ---------------------------------------------------
+
+    def _drive_all(
+        self, system: DeployedSystem, target: str, *, reverse: bool
+    ) -> DeploymentReport:
+        report = DeploymentReport()
+        order = system.spec.topological_order()
+        if reverse:
+            order = list(reversed(order))
+        finish_times: dict[str, float] = {}
+        for instance in order:
+            started = self.infrastructure.clock.now
+            self._drive_instance(system, instance.id, target, report)
+            duration = self.infrastructure.clock.now - started
+            neighbour_finishes = [
+                finish_times.get(other, 0.0)
+                for other in (
+                    system.spec.downstream_ids(instance.id)
+                    if reverse
+                    else instance.upstream_ids()
+                )
+            ]
+            earliest = max(neighbour_finishes, default=0.0)
+            finish_times[instance.id] = earliest + duration
+        report.sequential_seconds = sum(a.duration for a in report.actions)
+        report.makespan_seconds = max(finish_times.values(), default=0.0)
+        return report
+
+    def _drive_instance(
+        self,
+        system: DeployedSystem,
+        instance_id: str,
+        target: str,
+        report: DeploymentReport,
+    ) -> None:
+        driver = system.driver(instance_id)
+        path = driver.machine_spec.path_to(driver.state, target)
+        for transition in path:
+            self._check_guard(system, instance_id, transition)
+            started = self.infrastructure.clock.now
+            try:
+                driver.perform(transition.action)
+            except Exception as exc:
+                raise DeploymentError(
+                    f"action {transition.action!r} failed on "
+                    f"{instance_id!r}: {exc}"
+                ) from exc
+            report.actions.append(
+                ActionRecord(
+                    instance_id=instance_id,
+                    action=transition.action,
+                    started_at=started,
+                    duration=self.infrastructure.clock.now - started,
+                )
+            )
+
+    def _check_guard(
+        self, system: DeployedSystem, instance_id: str, transition
+    ) -> None:
+        upstream = [
+            system.state_of(u)
+            for u in system.spec[instance_id].upstream_ids()
+        ]
+        downstream = [
+            system.state_of(d)
+            for d in system.spec.downstream_ids(instance_id)
+        ]
+        if not transition.guard_holds(upstream, downstream):
+            raise GuardError(
+                f"guard of {transition} not satisfied for {instance_id!r} "
+                f"(upstream={upstream}, downstream={downstream})"
+            )
+
+    # -- Partial operations (used by the in-place upgrade strategy) -------
+
+    def prepare(
+        self,
+        spec: InstallSpec,
+        reuse_drivers: Optional[dict[str, ResourceDriver]] = None,
+    ) -> DeployedSystem:
+        """Build a :class:`DeployedSystem` without performing any actions.
+
+        ``reuse_drivers`` carries live drivers (with their current state
+        and processes) over from a previous system for instances that
+        are unchanged -- the heart of in-place upgrades.
+        """
+        machines = self._resolve_machines(spec)
+        drivers = self._create_drivers(spec, machines)
+        for instance_id, old_driver in (reuse_drivers or {}).items():
+            if instance_id not in drivers:
+                continue
+            # Keep the old driver's state/process but point it at the
+            # fresh instance and spec.
+            old_driver.context.instance = spec[instance_id]
+            old_driver.context.spec = spec
+            drivers[instance_id] = old_driver
+        return DeployedSystem(
+            spec, self.registry, self.infrastructure, drivers, machines
+        )
+
+    def stop_instances(
+        self, system: DeployedSystem, instance_ids: set[str]
+    ) -> DeploymentReport:
+        """Drive just ``instance_ids`` to ``inactive``, in reverse
+        dependency order, with guard checking."""
+        report = DeploymentReport()
+        for instance in reversed(system.spec.topological_order()):
+            if instance.id in instance_ids:
+                self._drive_instance(system, instance.id, INACTIVE, report)
+        report.sequential_seconds = sum(a.duration for a in report.actions)
+        return report
+
+    def uninstall_instances(
+        self, system: DeployedSystem, instance_ids: set[str]
+    ) -> DeploymentReport:
+        """Drive just ``instance_ids`` to ``uninstalled`` (they must
+        already be inactive), in reverse dependency order."""
+        report = DeploymentReport()
+        for instance in reversed(system.spec.topological_order()):
+            if instance.id in instance_ids:
+                self._drive_instance(
+                    system, instance.id, UNINSTALLED, report
+                )
+        report.sequential_seconds = sum(a.duration for a in report.actions)
+        return report
+
+    def activate(self, system: DeployedSystem) -> DeploymentReport:
+        """Drive everything to ``active``; already-active drivers no-op."""
+        report = self._drive_all(system, ACTIVE, reverse=False)
+        system.report = report
+        return report
+
+    # -- Management operations --------------------------------------------------
+
+    def shutdown(self, system: DeployedSystem) -> DeploymentReport:
+        """Stop all services in reverse dependency order (S5.2)."""
+        return self._drive_all(system, INACTIVE, reverse=True)
+
+    def start(self, system: DeployedSystem) -> DeploymentReport:
+        """(Re)start everything in dependency order."""
+        return self._drive_all(system, ACTIVE, reverse=False)
+
+    def uninstall(self, system: DeployedSystem) -> DeploymentReport:
+        """Stop and uninstall everything, reverse dependency order."""
+        report = self._drive_all(system, INACTIVE, reverse=True)
+        removal = self._drive_all(system, UNINSTALLED, reverse=True)
+        report.actions.extend(removal.actions)
+        report.sequential_seconds += removal.sequential_seconds
+        report.makespan_seconds += removal.makespan_seconds
+        return report

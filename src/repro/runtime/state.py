@@ -1,0 +1,99 @@
+"""Persistent deployment state.
+
+"Given that Engage has a full description of the deployed system,
+multiple upgrade strategies are possible" (S5.2) -- the real Engage kept
+that description on disk so a later invocation could manage (stop,
+upgrade, monitor) a system it did not itself deploy.  This module is
+that persistence: :func:`save_system` serialises a deployed system's
+specification and driver states; :func:`load_system` re-adopts it
+against the same infrastructure, reattaching service drivers to their
+still-running processes by name.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.core.errors import RuntimeEngageError
+from repro.core.registry import ResourceTypeRegistry
+from repro.drivers.base import DriverRegistry
+from repro.drivers.library import ServiceDriver
+from repro.drivers.state_machine import ACTIVE
+from repro.dsl.json_spec import full_from_json, full_to_json
+from repro.runtime.deploy import DeployedSystem, DeploymentEngine
+from repro.sim.infrastructure import Infrastructure
+
+#: Format marker so future layout changes can be detected.
+STATE_FORMAT = "engage-state-1"
+
+
+def save_system(system: DeployedSystem) -> str:
+    """Serialise a deployed system (spec + per-instance driver states)."""
+    payload = {
+        "format": STATE_FORMAT,
+        "spec": json.loads(full_to_json(system.spec)),
+        "states": system.states(),
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def load_system(
+    registry: ResourceTypeRegistry,
+    infrastructure: Infrastructure,
+    drivers: DriverRegistry,
+    text: str,
+) -> DeployedSystem:
+    """Re-adopt a previously saved system.
+
+    The machines must still exist on the infrastructure's network (state
+    files describe deployments of *this* world; they are not machine
+    images).  Service drivers whose saved state is ``active`` reattach to
+    the running process with their service name; a missing process is an
+    error -- the state file claims something the world contradicts.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise RuntimeEngageError(f"malformed state file: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise RuntimeEngageError("state file must be a JSON object")
+    if payload.get("format") != STATE_FORMAT:
+        raise RuntimeEngageError(
+            f"unsupported state format: {payload.get('format')!r}"
+        )
+    spec = full_from_json(json.dumps(payload["spec"]))
+    states = payload["states"]
+    missing = sorted(set(spec.ids()) - set(states))
+    if missing:
+        raise RuntimeEngageError(
+            f"state file has no driver state for {missing}"
+        )
+
+    engine = DeploymentEngine(registry, infrastructure, drivers)
+    system = engine.prepare(spec)
+    for instance_id, state in states.items():
+        if instance_id not in system.drivers:
+            raise RuntimeEngageError(
+                f"state file mentions unknown instance {instance_id!r}"
+            )
+        driver = system.drivers[instance_id]
+        if state not in driver.machine_spec.states:
+            raise RuntimeEngageError(
+                f"{instance_id}: saved state {state!r} is not a state of "
+                "its driver"
+            )
+        driver.state = state
+        if isinstance(driver, ServiceDriver) and state == ACTIVE:
+            machine = system.machine_for(instance_id)
+            process = machine.find_process(driver.service_name())
+            if process is None:
+                raise RuntimeEngageError(
+                    f"{instance_id}: saved as active but no process "
+                    f"{driver.service_name()!r} exists on "
+                    f"{machine.hostname}"
+                )
+            # A dead process is adopted as-is: that is precisely the
+            # state the monitor repairs (`engage-sim watch`).
+            driver.adopt_process(process)
+    return system

@@ -1,0 +1,95 @@
+"""DIMACS CNF reading and writing.
+
+MiniSat consumes DIMACS; round-tripping through the format lets the
+configuration engine's constraints be inspected with external tools and
+gives the test suite a corpus format.
+"""
+
+from __future__ import annotations
+
+from typing import TextIO
+
+from repro.core.errors import ConfigurationError
+from repro.sat.cnf import CnfFormula
+
+
+def write_dimacs(formula: CnfFormula, stream: TextIO) -> None:
+    """Serialise ``formula`` in DIMACS CNF, with variable names as
+    comments so the file stays human-readable."""
+    for var in range(1, formula.num_vars + 1):
+        name = formula.name_of(var)
+        if name is not None:
+            stream.write(f"c var {var} = {name}\n")
+    stream.write(f"p cnf {formula.num_vars} {formula.num_clauses}\n")
+    for clause in formula.clauses():
+        stream.write(" ".join(str(l) for l in clause) + " 0\n")
+
+
+def dimacs_text(formula: CnfFormula) -> str:
+    """The DIMACS serialisation as a string."""
+    import io
+
+    buffer = io.StringIO()
+    write_dimacs(formula, buffer)
+    return buffer.getvalue()
+
+
+def read_dimacs(stream: TextIO) -> CnfFormula:
+    """Parse DIMACS CNF into a :class:`CnfFormula`."""
+    formula = CnfFormula()
+    declared_vars = 0
+    declared_clauses = 0
+    saw_header = False
+    pending: list[int] = []
+    for line_number, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            if saw_header:
+                raise ConfigurationError(
+                    f"line {line_number}: duplicate DIMACS header"
+                )
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ConfigurationError(
+                    f"line {line_number}: malformed header {line!r}"
+                )
+            declared_vars = int(parts[2])
+            declared_clauses = int(parts[3])
+            for _ in range(declared_vars):
+                formula.new_var()
+            saw_header = True
+            continue
+        if not saw_header:
+            raise ConfigurationError(
+                f"line {line_number}: clause before DIMACS header"
+            )
+        for token in line.split():
+            literal = int(token)
+            if literal == 0:
+                if pending:
+                    formula.add_clause(pending)
+                    pending = []
+            else:
+                if abs(literal) > declared_vars:
+                    raise ConfigurationError(
+                        f"line {line_number}: literal {literal} exceeds "
+                        f"declared variable count {declared_vars}"
+                    )
+                pending.append(literal)
+    if pending:
+        formula.add_clause(pending)
+    if saw_header and formula.num_clauses != declared_clauses:
+        raise ConfigurationError(
+            f"header declared {declared_clauses} clauses, found "
+            f"{formula.num_clauses}"
+        )
+    return formula
+
+
+def parse_dimacs(text: str) -> CnfFormula:
+    """Parse DIMACS CNF from a string."""
+    import io
+
+    return read_dimacs(io.StringIO(text))

@@ -1,0 +1,108 @@
+"""Cardinality encodings, chiefly the paper's exactly-one predicate.
+
+S4 defines ``(+)S`` ("exactly one proposition from the set S is true") as
+
+    (+)S  =  (\\/ p in S) /\\ (/\\ p,q in S, q != p : p -> not q)
+
+That textbook *pairwise* encoding is quadratic in |S|.  We also provide
+the *sequential* (commander/ladder) encoding, linear in |S| with one
+auxiliary variable per element, as the ablation target of experiment E12.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from itertools import combinations
+from typing import Sequence
+
+from repro.sat.cnf import CnfFormula
+
+
+class ExactlyOneEncoding(Enum):
+    PAIRWISE = "pairwise"
+    SEQUENTIAL = "sequential"
+
+
+def at_least_one(formula: CnfFormula, literals: Sequence[int]) -> None:
+    formula.add_clause(literals)
+
+
+def at_most_one_pairwise(formula: CnfFormula, literals: Sequence[int]) -> None:
+    """``p -> not q`` for every unordered pair (the paper's definition)."""
+    for p, q in combinations(literals, 2):
+        formula.add_clause([-p, -q])
+
+
+def at_most_one_sequential(formula: CnfFormula, literals: Sequence[int]) -> None:
+    """Sinz's sequential counter restricted to the <=1 case.
+
+    Introduces registers ``s_i`` meaning "one of literals[0..i] is true":
+
+        l_i -> s_i ;  s_{i-1} -> s_i ;  l_i /\\ s_{i-1} -> false
+    """
+    n = len(literals)
+    if n <= 1:
+        return
+    if n <= 3:
+        # Pairwise is smaller than the counter at tiny sizes.
+        at_most_one_pairwise(formula, literals)
+        return
+    registers = [formula.new_var() for _ in range(n - 1)]
+    formula.add_implies(literals[0], registers[0])
+    for i in range(1, n - 1):
+        formula.add_implies(literals[i], registers[i])
+        formula.add_implies(registers[i - 1], registers[i])
+        formula.add_clause([-literals[i], -registers[i - 1]])
+    formula.add_clause([-literals[n - 1], -registers[n - 2]])
+
+
+def exactly_one(
+    formula: CnfFormula,
+    literals: Sequence[int],
+    encoding: ExactlyOneEncoding = ExactlyOneEncoding.PAIRWISE,
+) -> None:
+    """Assert that exactly one of ``literals`` is true."""
+    at_least_one(formula, literals)
+    if encoding == ExactlyOneEncoding.PAIRWISE:
+        at_most_one_pairwise(formula, literals)
+    else:
+        at_most_one_sequential(formula, literals)
+
+
+def implies_exactly_one(
+    formula: CnfFormula,
+    antecedent: int,
+    literals: Sequence[int],
+    encoding: ExactlyOneEncoding = ExactlyOneEncoding.PAIRWISE,
+) -> None:
+    """The hyperedge constraint of S4:
+
+        rsrc(v) -> (+){rsrc(v1), ..., rsrc(vn)}
+
+    i.e. under ``antecedent``, at least one target holds, and no two
+    targets hold together.  The at-most-one part need not be guarded by
+    the antecedent to preserve Theorem 1 -- a *guarded* at-most-one is
+    used instead so deployments may include sibling alternatives required
+    by other resources.
+    """
+    formula.add_implies_clause(antecedent, literals)
+    if encoding == ExactlyOneEncoding.PAIRWISE:
+        for p, q in combinations(literals, 2):
+            formula.add_clause([-antecedent, -p, -q])
+    else:
+        # Guard the sequential encoding with a fresh relay variable that is
+        # equivalent to the antecedent for these registers.
+        n = len(literals)
+        if n <= 1:
+            return
+        if n <= 3:
+            for p, q in combinations(literals, 2):
+                formula.add_clause([-antecedent, -p, -q])
+            return
+        registers = [formula.new_var() for _ in range(n - 1)]
+        formula.add_clause([-antecedent, -literals[0], registers[0]])
+        for i in range(1, n - 1):
+            formula.add_clause([-antecedent, -literals[i], registers[i]])
+            formula.add_clause([-antecedent, -registers[i - 1], registers[i]])
+            formula.add_clause([-antecedent, -literals[i], -registers[i - 1]])
+        formula.add_clause([-antecedent, -literals[n - 1], -registers[n - 2]])

@@ -1,0 +1,59 @@
+"""A simulated clock.
+
+All time in the simulated substrate flows through a :class:`SimClock`:
+downloads, package installs, service startup delays, and provisioning all
+``advance`` it.  Benchmarks read simulated durations off the clock, which
+makes the cached-vs-internet install experiment (E4) deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import SimulationError
+
+
+@dataclass
+class ClockEvent:
+    """One recorded advance: when it started, how long, and why."""
+
+    start: float
+    duration: float
+    label: str
+
+
+class SimClock:
+    """Monotonic simulated time in seconds, with an event log."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._events: list[ClockEvent] = []
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float, label: str = "") -> None:
+        if seconds < 0:
+            raise SimulationError(f"cannot advance clock by {seconds}")
+        self._events.append(ClockEvent(self._now, seconds, label))
+        self._now += seconds
+
+    def advance_to(self, timestamp: float, label: str = "") -> None:
+        """Move the clock forward to an absolute time (no-op if past)."""
+        if timestamp > self._now:
+            self.advance(timestamp - self._now, label)
+
+    def events(self) -> list[ClockEvent]:
+        return list(self._events)
+
+    def elapsed_by_label(self) -> dict[str, float]:
+        """Total simulated seconds per event label."""
+        totals: dict[str, float] = {}
+        for event in self._events:
+            totals[event.label] = totals.get(event.label, 0.0) + event.duration
+        return totals
+
+    def reset(self) -> None:
+        self._now = 0.0
+        self._events.clear()

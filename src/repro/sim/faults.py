@@ -1,0 +1,91 @@
+"""Deterministic fault injection.
+
+The monitoring experiment needs failures: "If the process associated
+with a service fails, it will be automatically restarted by monit."
+This module provides a seeded injector so chaos-style tests are
+reproducible: it picks running processes at random and fails them, and
+can run whole kill/poll campaigns against a deployed system.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.process import SimProcess
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.deploy import DeployedSystem
+    from repro.runtime.monitor import ProcessMonitor
+
+
+@dataclass
+class FaultRecord:
+    """One injected failure."""
+
+    timestamp: float
+    process_name: str
+    hostname: str
+
+
+class FaultInjector:
+    """Fails random running service processes of a deployed system."""
+
+    def __init__(self, system: "DeployedSystem", seed: int = 0) -> None:
+        self._system = system
+        self._rng = random.Random(seed)
+        self.records: list[FaultRecord] = []
+
+    def _running_service_processes(self) -> list[tuple[str, SimProcess]]:
+        from repro.drivers.library import ServiceDriver
+
+        candidates: list[tuple[str, SimProcess]] = []
+        for instance_id, driver in sorted(self._system.drivers.items()):
+            if isinstance(driver, ServiceDriver):
+                process = driver.process
+                if process is not None and process.is_running():
+                    candidates.append((instance_id, process))
+        return candidates
+
+    def inject(self, count: int = 1) -> list[FaultRecord]:
+        """Fail up to ``count`` random running service processes."""
+        candidates = self._running_service_processes()
+        if not candidates:
+            return []
+        picked = self._rng.sample(candidates, min(count, len(candidates)))
+        new_records: list[FaultRecord] = []
+        for instance_id, process in picked:
+            machine = self._system.machine_for(instance_id)
+            process.fail()
+            record = FaultRecord(
+                timestamp=self._system.infrastructure.clock.now,
+                process_name=process.name,
+                hostname=machine.hostname,
+            )
+            new_records.append(record)
+            self.records.append(record)
+        return new_records
+
+    def campaign(
+        self,
+        monitor: "ProcessMonitor",
+        rounds: int,
+        *,
+        max_failures_per_round: int = 2,
+        seconds_between_rounds: float = 30.0,
+    ) -> dict:
+        """Run a kill/poll campaign: each round injects up to
+        ``max_failures_per_round`` failures, advances time, and lets the
+        monitor repair.  Returns summary counters."""
+        clock = self._system.infrastructure.clock
+        injected = 0
+        restarted = 0
+        for _ in range(rounds):
+            failures = self.inject(
+                self._rng.randint(0, max_failures_per_round)
+            )
+            injected += len(failures)
+            clock.advance(seconds_between_rounds, "fault-campaign")
+            restarted += len(monitor.poll())
+        return {"injected": injected, "restarted": restarted}

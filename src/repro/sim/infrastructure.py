@@ -1,0 +1,91 @@
+"""The assembled simulation world.
+
+An :class:`Infrastructure` bundles the shared clock, network, package
+index, download service, cloud providers, and per-machine package
+managers -- everything resource drivers touch.  Tests and benchmarks
+create one per scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.cloud import CloudProvider, MachineImage, standard_images
+from repro.sim.machine import Machine, OsIdentity
+from repro.sim.network import Network
+from repro.sim.oslpm import OsPackageManager
+from repro.sim.package_index import DownloadService, PackageIndex
+
+
+class Infrastructure:
+    """One simulated world: clock + network + packages + clouds."""
+
+    def __init__(self, *, use_cache: bool = True) -> None:
+        self.clock = SimClock()
+        self.network = Network()
+        self.package_index = PackageIndex()
+        self.downloads = DownloadService(
+            self.package_index, self.clock, use_cache=use_cache
+        )
+        self._providers: dict[str, CloudProvider] = {}
+        self._oslpm: dict[str, OsPackageManager] = {}
+
+    # -- Machines ----------------------------------------------------------
+
+    def add_machine(
+        self,
+        hostname: str,
+        os_name: str = "ubuntu-linux",
+        os_version: str = "10.04",
+        **kwargs,
+    ) -> Machine:
+        """Create a pre-existing (non-cloud) machine."""
+        machine = Machine(
+            hostname,
+            OsIdentity(os_name, os_version),
+            self.network,
+            self.clock,
+            **kwargs,
+        )
+        return machine
+
+    def machine(self, hostname: str) -> Machine:
+        return self.network.machine(hostname)
+
+    def package_manager(self, machine: Machine) -> OsPackageManager:
+        """The (memoised) package manager of a machine."""
+        manager = self._oslpm.get(machine.hostname)
+        if manager is None:
+            manager = OsPackageManager(machine, self.downloads)
+            self._oslpm[machine.hostname] = manager
+        return manager
+
+    # -- Cloud providers -------------------------------------------------------
+
+    def add_provider(
+        self, name: str, *, provision_seconds: float = 55.0
+    ) -> CloudProvider:
+        if name in self._providers:
+            raise SimulationError(f"provider already added: {name}")
+        provider = CloudProvider(
+            name, self.network, self.clock, provision_seconds=provision_seconds
+        )
+        for image in standard_images():
+            provider.register_image(image)
+        self._providers[name] = provider
+        return provider
+
+    def provider(self, name: str) -> CloudProvider:
+        try:
+            return self._providers[name]
+        except KeyError:
+            raise SimulationError(f"unknown provider: {name}") from None
+
+    def providers(self) -> list[CloudProvider]:
+        return [self._providers[n] for n in sorted(self._providers)]
+
+    def default_provider(self) -> Optional[CloudProvider]:
+        providers = self.providers()
+        return providers[0] if providers else None

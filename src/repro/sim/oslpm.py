@@ -1,0 +1,149 @@
+"""A simulated OS-level package manager (dpkg/RPM/apt stand-in).
+
+The paper positions Engage as *complementary* to OSLPMs: "a driver for a
+resource can use an OSLPM to install the required packages on a machine".
+This module is that building block: per-machine package records, install
+with prerequisite checking, file payload unpacked into the machine's
+filesystem, and removal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.errors import SimulationError
+from repro.sim.machine import Machine
+from repro.sim.package_index import DownloadService, PackageArtifact
+
+#: Simulated seconds of unpack/install work per megabyte of artifact.
+INSTALL_SECONDS_PER_MB = 0.35
+
+
+@dataclass
+class InstalledPackage:
+    name: str
+    version: str
+    install_root: str
+    files: list[str] = field(default_factory=list)
+
+
+class OsPackageManager:
+    """The package database of one machine."""
+
+    def __init__(self, machine: Machine, downloads: DownloadService) -> None:
+        self._machine = machine
+        self._downloads = downloads
+        self._installed: dict[str, InstalledPackage] = {}
+
+    def is_installed(self, name: str, version: Optional[str] = None) -> bool:
+        record = self._installed.get(name)
+        if record is None:
+            return False
+        return version is None or record.version == version
+
+    def installed_version(self, name: str) -> Optional[str]:
+        record = self._installed.get(name)
+        return record.version if record else None
+
+    def install(
+        self,
+        name: str,
+        version: str,
+        *,
+        prerequisites: Sequence[str] = (),
+        install_root: str = "/opt",
+    ) -> InstalledPackage:
+        """Download and unpack a package onto the machine.
+
+        ``prerequisites`` are package names that must already be installed
+        on this machine -- the OSLPM-level dependency check.
+        """
+        for prerequisite in prerequisites:
+            if not self.is_installed(prerequisite):
+                raise SimulationError(
+                    f"{self._machine.hostname}: package {name} requires "
+                    f"{prerequisite} which is not installed"
+                )
+        existing = self._installed.get(name)
+        if existing is not None:
+            if existing.version == version:
+                return existing
+            raise SimulationError(
+                f"{self._machine.hostname}: {name} {existing.version} is "
+                f"installed; remove it before installing {version}"
+            )
+        artifact = self._downloads.fetch(name, version)
+        record = self._unpack(artifact, install_root)
+        self._installed[name] = record
+        return record
+
+    def _unpack(
+        self, artifact: PackageArtifact, install_root: str
+    ) -> InstalledPackage:
+        install_seconds = (
+            artifact.size_bytes / 1_000_000.0 * INSTALL_SECONDS_PER_MB
+        )
+        self._machine.clock.advance(
+            install_seconds, f"install:{artifact.name}-{artifact.version}"
+        )
+        record = InstalledPackage(
+            artifact.name, artifact.version, install_root
+        )
+        base = f"{install_root}/{artifact.name}-{artifact.version}"
+        self._machine.fs.mkdir(base)
+        for relative_path, content in artifact.files:
+            path = f"{base}/{relative_path}"
+            self._machine.fs.write_file(path, content)
+            record.files.append(path)
+        manifest = f"{base}/.manifest"
+        self._machine.fs.write_file(
+            manifest, f"{artifact.name} {artifact.version}\n"
+        )
+        record.files.append(manifest)
+        return record
+
+    def remove(self, name: str) -> None:
+        record = self._installed.pop(name, None)
+        if record is None:
+            raise SimulationError(
+                f"{self._machine.hostname}: package {name} is not installed"
+            )
+        base = f"{record.install_root}/{record.name}-{record.version}"
+        if self._machine.fs.exists(base):
+            self._machine.fs.remove(base)
+
+    def installed(self) -> list[InstalledPackage]:
+        return [self._installed[name] for name in sorted(self._installed)]
+
+    def snapshot(self) -> dict:
+        """Copy of the package database (pairs with machine snapshots so
+        upgrade rollbacks restore both filesystem and package records)."""
+        return {
+            name: InstalledPackage(
+                record.name,
+                record.version,
+                record.install_root,
+                list(record.files),
+            )
+            for name, record in self._installed.items()
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        self._installed = {
+            name: InstalledPackage(
+                record.name,
+                record.version,
+                record.install_root,
+                list(record.files),
+            )
+            for name, record in snapshot.items()
+        }
+
+    def install_path(self, name: str) -> str:
+        record = self._installed.get(name)
+        if record is None:
+            raise SimulationError(
+                f"{self._machine.hostname}: package {name} is not installed"
+            )
+        return f"{record.install_root}/{record.name}-{record.version}"

@@ -1,0 +1,49 @@
+"""Shared fixtures: the standard library world and the S2 OpenMRS spec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PartialInstallSpec, PartialInstance, as_key
+from repro.library import (
+    standard_drivers,
+    standard_infrastructure,
+    standard_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    """A fresh copy of the standard resource library."""
+    return standard_registry()
+
+
+@pytest.fixture
+def infrastructure():
+    """A fresh simulation world with artifacts published and a cloud."""
+    return standard_infrastructure()
+
+@pytest.fixture
+def drivers():
+    """A driver registry covering the whole library."""
+    return standard_drivers()
+
+
+@pytest.fixture
+def openmrs_partial():
+    """The Figure 2 partial installation specification."""
+    return PartialInstallSpec(
+        [
+            PartialInstance(
+                "server",
+                as_key("Mac-OSX 10.6"),
+                config={"hostname": "demotest", "os_user_name": "root"},
+            ),
+            PartialInstance(
+                "tomcat", as_key("Tomcat 6.0.18"), inside_id="server"
+            ),
+            PartialInstance(
+                "openmrs", as_key("OpenMRS 1.8"), inside_id="tomcat"
+            ),
+        ]
+    )

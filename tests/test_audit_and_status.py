@@ -1,0 +1,76 @@
+"""The per-machine audit log and the status report."""
+
+import pytest
+
+from repro.config import ConfigurationEngine
+from repro.runtime import DeploymentEngine
+
+
+@pytest.fixture
+def world(registry, infrastructure, drivers, openmrs_partial):
+    spec = ConfigurationEngine(registry).configure(openmrs_partial).spec
+    engine = DeploymentEngine(registry, infrastructure, drivers)
+    system = engine.deploy(spec)
+    return engine, system, infrastructure
+
+
+class TestAuditLog:
+    def test_every_action_logged(self, world):
+        engine, system, infrastructure = world
+        machine = infrastructure.network.machine("demotest")
+        log = machine.fs.read_file("/var/log/engage.log")
+        for instance_id in ("mysql", "tomcat", "openmrs"):
+            assert f"{instance_id}: install" in log
+            assert f"{instance_id}: start" in log
+
+    def test_transitions_recorded(self, world):
+        engine, system, infrastructure = world
+        machine = infrastructure.network.machine("demotest")
+        log = machine.fs.read_file("/var/log/engage.log")
+        assert "install (uninstalled -> inactive)" in log
+        assert "start (inactive -> active)" in log
+
+    def test_order_in_log_matches_dependency_order(self, world):
+        engine, system, infrastructure = world
+        machine = infrastructure.network.machine("demotest")
+        log = machine.fs.read_file("/var/log/engage.log")
+        assert log.index("mysql: start") < log.index("openmrs: start")
+
+    def test_shutdown_appends(self, world):
+        engine, system, infrastructure = world
+        engine.shutdown(system)
+        machine = infrastructure.network.machine("demotest")
+        log = machine.fs.read_file("/var/log/engage.log")
+        assert "openmrs: stop" in log
+
+    def test_failed_action_logged_as_failed(
+        self, registry, infrastructure, drivers, openmrs_partial
+    ):
+        spec = ConfigurationEngine(registry).configure(openmrs_partial).spec
+        engine = DeploymentEngine(registry, infrastructure, drivers)
+        machines = engine._resolve_machines(spec)
+        all_drivers = engine._create_drivers(spec, machines)
+        for instance in spec.topological_order():
+            all_drivers[instance.id].perform("install")
+        with pytest.raises(Exception):
+            all_drivers["openmrs"].perform("start")  # deps down
+        machine = infrastructure.network.machine("demotest")
+        log = machine.fs.read_file("/var/log/engage.log")
+        assert "openmrs: start (inactive -> FAILED)" in log
+
+
+class TestDescribe:
+    def test_contains_all_instances(self, world):
+        engine, system, infrastructure = world
+        text = system.describe()
+        for instance_id in system.spec.ids():
+            assert instance_id in text
+        assert "active" in text
+        assert "5 instances on 1 machine(s)" in text
+
+    def test_reflects_state_changes(self, world):
+        engine, system, infrastructure = world
+        engine.shutdown(system)
+        text = system.describe()
+        assert "inactive" in text
+        assert "0 running process(es)" in text

@@ -1,0 +1,200 @@
+"""The engage-sim CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+FIGURE_2 = json.dumps(
+    [
+        {"id": "server", "key": "Mac-OSX 10.6",
+         "config_port": {"hostname": "demotest"}},
+        {"id": "tomcat", "key": "Tomcat 6.0.18", "inside": {"id": "server"}},
+        {"id": "openmrs", "key": "OpenMRS 1.8", "inside": {"id": "tomcat"}},
+    ]
+)
+
+CONFLICT = json.dumps(
+    [
+        {"id": "server", "key": "Mac-OSX 10.6",
+         "config_port": {"hostname": "h"}},
+        {"id": "tomcat", "key": "Tomcat 6.0.18", "inside": {"id": "server"}},
+        {"id": "jdk_pin", "key": "JDK 1.6", "inside": {"id": "server"}},
+        {"id": "jre_pin", "key": "JRE 1.6", "inside": {"id": "server"}},
+    ]
+)
+
+CUSTOM_DSL = """
+resource "MiniCache" 1.0 driver "service" {
+  inside "Server" { host -> host }
+  input host: { hostname: hostname, ip_address: string,
+                os_user_name: string }
+  config port: tcp_port = 7070
+  output kv: { host: hostname, port: tcp_port } =
+    { host = input.host.hostname, port = config.port }
+}
+"""
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "partial.json"
+    path.write_text(FIGURE_2)
+    return str(path)
+
+
+class TestCheck:
+    def test_stdlib_is_well_formed(self):
+        code, output = run(["check"])
+        assert code == 0
+        assert "well-formed" in output
+
+    def test_custom_types_loaded(self, tmp_path):
+        dsl = tmp_path / "cache.engage"
+        dsl.write_text(CUSTOM_DSL)
+        code, output = run(["check", "--types", str(dsl)])
+        assert code == 0
+
+    def test_broken_types_reported(self, tmp_path):
+        dsl = tmp_path / "bad.engage"
+        dsl.write_text(
+            'resource "Broken" 1.0 { inside "Nowhere" 9.9 }'
+        )
+        code, output = run(["check", "--types", str(dsl)])
+        assert code == 1
+        assert "unregistered" in output
+
+    def test_parse_error_is_reported_not_raised(self, tmp_path):
+        dsl = tmp_path / "syntax.engage"
+        dsl.write_text("resource without quotes {")
+        code, output = run(["check", "--types", str(dsl)])
+        assert code == 2
+        assert "error:" in output
+
+
+class TestConfigure:
+    def test_writes_full_spec(self, spec_file, tmp_path):
+        out_file = tmp_path / "full.json"
+        code, output = run(
+            ["configure", spec_file, "-o", str(out_file)]
+        )
+        assert code == 0
+        data = json.loads(out_file.read_text())
+        ids = {entry["id"] for entry in data}
+        assert {"server", "tomcat", "openmrs", "mysql"} <= ids
+
+    def test_stdout_output(self, spec_file):
+        code, output = run(["configure", spec_file])
+        assert code == 0
+        assert '"openmrs"' in output
+
+    def test_missing_file(self):
+        code, output = run(["configure", "/nonexistent.json"])
+        assert code == 2
+        assert "error:" in output
+
+
+class TestGraph:
+    def test_figure5(self, spec_file):
+        code, output = run(["graph", spec_file])
+        assert code == 0
+        assert "6 instance nodes" in output
+        assert "jdk" in output and "jre" in output
+        assert "environment" in output
+
+
+class TestExplain:
+    def test_satisfiable(self, spec_file):
+        code, output = run(["explain", spec_file])
+        assert code == 0
+        assert "satisfiable" in output
+
+    def test_conflict(self, tmp_path):
+        path = tmp_path / "conflict.json"
+        path.write_text(CONFLICT)
+        code, output = run(["explain", str(path)])
+        assert code == 1
+        assert "cannot be deployed together" in output
+
+
+class TestRender:
+    def test_stdlib_round_trips_through_render(self, tmp_path):
+        code, output = run(["render"])
+        assert code == 0
+        assert 'abstract resource "Server"' in output
+        # The rendered text is valid DSL: load it into a fresh registry.
+        from repro.core import ResourceTypeRegistry
+        from repro.dsl import load_resources
+
+        registry = ResourceTypeRegistry()
+        types = load_resources(output, registry)
+        assert len(types) > 25
+
+    def test_render_custom_only(self, tmp_path):
+        dsl = tmp_path / "cache.engage"
+        dsl.write_text(CUSTOM_DSL)
+        code, output = run(["render", "--types", str(dsl)])
+        assert code == 0
+        assert "MiniCache" in output
+
+
+class TestDimacs:
+    def test_emits_valid_dimacs(self, spec_file):
+        code, output = run(["dimacs", spec_file])
+        assert code == 0
+        assert "p cnf" in output
+        from repro.sat import CdclSolver, parse_dimacs
+
+        cnf_text = "\n".join(
+            line for line in output.splitlines()
+            if not line.startswith("c ") or line.startswith("c var")
+        )
+        formula = parse_dimacs(cnf_text)
+        assert CdclSolver(formula).solve()
+
+    def test_summary_comment(self, spec_file):
+        code, output = run(["dimacs", spec_file])
+        assert "hyperedges" in output
+
+
+class TestDeploy:
+    def test_full_deploy(self, spec_file):
+        code, output = run(["deploy", spec_file])
+        assert code == 0
+        assert "active" in output
+        assert "simulated time" in output
+
+    def test_deploy_with_custom_type(self, tmp_path):
+        dsl = tmp_path / "cache.engage"
+        dsl.write_text(CUSTOM_DSL)
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            json.dumps(
+                [
+                    {"id": "box", "key": "Ubuntu-Linux 10.04",
+                     "config_port": {"hostname": "box1"}},
+                    {"id": "cache", "key": "MiniCache 1.0",
+                     "inside": {"id": "box"}},
+                ]
+            )
+        )
+        code, output = run(
+            ["deploy", "--types", str(dsl), str(spec)]
+        )
+        assert code == 0
+        assert "cache" in output
+
+    def test_unsat_deploy_reports_error(self, tmp_path):
+        path = tmp_path / "conflict.json"
+        path.write_text(CONFLICT)
+        code, output = run(["deploy", str(path)])
+        assert code == 2
+        assert "cannot be deployed together" in output

@@ -1,0 +1,143 @@
+"""The day-2 CLI commands: watch, inject-fault, upgrade on bundles."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+STACK_DSL = """
+resource "MiniCache" 1.0 driver "service" {
+  inside "Server" { host -> host }
+  input host: { hostname: hostname, ip_address: string,
+                os_user_name: string }
+  config port: tcp_port = 7070
+  output kv: { host: hostname, port: tcp_port } =
+    { host = input.host.hostname, port = config.port }
+}
+"""
+
+STACK_V2_DSL = """
+resource "MiniCache" 2.0 driver "service" {
+  inside "Server" { host -> host }
+  input host: { hostname: hostname, ip_address: string,
+                os_user_name: string }
+  config port: tcp_port = 7070
+  output kv: { host: hostname, port: tcp_port } =
+    { host = input.host.hostname, port = config.port }
+}
+"""
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def spec_json(version):
+    return json.dumps(
+        [
+            {"id": "box", "key": "Ubuntu-Linux 10.04",
+             "config_port": {"hostname": "day2"}},
+            {"id": "cache", "key": f"MiniCache {version}",
+             "inside": {"id": "box"}},
+        ]
+    )
+
+
+@pytest.fixture
+def bundle(tmp_path):
+    dsl = tmp_path / "stack.engage"
+    dsl.write_text(STACK_DSL)
+    spec = tmp_path / "spec.json"
+    spec.write_text(spec_json("1.0"))
+    bundle_path = tmp_path / "bundle.json"
+    code, _ = run(
+        ["deploy", "--types", str(dsl), str(spec), "--save",
+         str(bundle_path)]
+    )
+    assert code == 0
+    return tmp_path, str(bundle_path)
+
+
+class TestInjectFault:
+    def test_fail_then_watch_repairs(self, bundle):
+        _, bundle_path = bundle
+        code, output = run(["inject-fault", bundle_path, "cache"])
+        assert code == 0
+        assert "failed process" in output
+
+        code, output = run(["watch", bundle_path])
+        assert code == 0
+        assert "restarted" in output
+
+        code, output = run(["status", bundle_path])
+        assert code == 0
+        assert "active" in output
+
+    def test_unknown_instance(self, bundle):
+        _, bundle_path = bundle
+        code, output = run(["inject-fault", bundle_path, "ghost"])
+        assert code == 2
+
+    def test_machine_has_no_process(self, bundle):
+        _, bundle_path = bundle
+        code, output = run(["inject-fault", bundle_path, "box"])
+        assert code == 2
+
+    def test_watch_when_healthy(self, bundle):
+        _, bundle_path = bundle
+        code, output = run(["watch", bundle_path])
+        assert code == 0
+        assert "healthy" in output
+
+
+class TestUpgrade:
+    def test_in_place_upgrade(self, bundle, tmp_path):
+        directory, bundle_path = bundle
+        v2 = directory / "v2.engage"
+        v2.write_text(STACK_V2_DSL)
+        new_spec = directory / "spec2.json"
+        new_spec.write_text(spec_json("2.0"))
+
+        code, output = run(
+            ["upgrade", bundle_path, str(new_spec),
+             "--types", str(v2), "--strategy", "in_place"]
+        )
+        assert code == 0
+        assert "upgrade succeeded" in output
+        assert "'cache'" in output
+
+        code, output = run(["status", bundle_path])
+        assert code == 0
+        assert "MiniCache 2.0" in output
+
+    def test_replace_upgrade(self, bundle):
+        directory, bundle_path = bundle
+        v2 = directory / "v2.engage"
+        v2.write_text(STACK_V2_DSL)
+        new_spec = directory / "spec2.json"
+        new_spec.write_text(spec_json("2.0"))
+        code, output = run(
+            ["upgrade", bundle_path, str(new_spec), "--types", str(v2)]
+        )
+        assert code == 0
+        code, output = run(["status", bundle_path])
+        assert "MiniCache 2.0" in output
+
+    def test_retyping_original_file_tolerated(self, bundle):
+        """Passing the original DSL file again must not explode on
+        duplicate keys."""
+        directory, bundle_path = bundle
+        original = directory / "stack.engage"
+        v2 = directory / "v2.engage"
+        v2.write_text(STACK_V2_DSL)
+        new_spec = directory / "spec2.json"
+        new_spec.write_text(spec_json("2.0"))
+        code, output = run(
+            ["upgrade", bundle_path, str(new_spec),
+             "--types", str(original), "--types", str(v2)]
+        )
+        assert code == 0

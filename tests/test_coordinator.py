@@ -1,0 +1,149 @@
+"""Multi-host coordination: per-node specs, waves, master/slave."""
+
+import pytest
+
+from repro.core import PartialInstallSpec, PartialInstance, as_key
+from repro.config import ConfigurationEngine
+from repro.runtime import (
+    MasterCoordinator,
+    machine_waves,
+    provision_partial_spec,
+    split_spec,
+)
+
+
+@pytest.fixture
+def two_node_spec(registry, infrastructure):
+    """App node (tomcat + openmrs) with MySQL on a dedicated db node."""
+    partial = PartialInstallSpec(
+        [
+            PartialInstance("appnode", as_key("Ubuntu-Linux 10.04"),
+                            config={"hostname": "app1"}),
+            PartialInstance("dbnode", as_key("Ubuntu-Linux 10.04"),
+                            config={"hostname": "db1"}),
+            PartialInstance("tomcat", as_key("Tomcat 6.0.18"),
+                            inside_id="appnode"),
+            PartialInstance("openmrs", as_key("OpenMRS 1.8"),
+                            inside_id="tomcat"),
+            PartialInstance("db", as_key("MySQL 5.1"), inside_id="dbnode"),
+        ]
+    )
+    partial = provision_partial_spec(registry, partial, infrastructure)
+    return ConfigurationEngine(registry).configure(partial).spec
+
+
+class TestSplitSpec:
+    def test_instances_grouped_by_machine(self, two_node_spec):
+        per_node = split_spec(two_node_spec)
+        assert set(per_node) == {"appnode", "dbnode"}
+        app_ids = set(per_node["appnode"].ids())
+        assert {"appnode", "tomcat", "openmrs"} <= app_ids
+        assert "db" in per_node["dbnode"].ids()
+
+    def test_cross_machine_links_dropped(self, two_node_spec):
+        per_node = split_spec(two_node_spec)
+        openmrs = per_node["appnode"]["openmrs"]
+        assert all(
+            link.target.id in per_node["appnode"]
+            for link in openmrs.links()
+        )
+
+    def test_local_links_kept(self, two_node_spec):
+        per_node = split_spec(two_node_spec)
+        openmrs = per_node["appnode"]["openmrs"]
+        assert openmrs.inside.target.id == "tomcat"
+
+    def test_port_values_survive_split(self, two_node_spec):
+        per_node = split_spec(two_node_spec)
+        openmrs = per_node["appnode"]["openmrs"]
+        assert openmrs.inputs["database"]["host"] == "db1"
+
+    def test_sub_specs_are_valid_dags(self, two_node_spec):
+        for sub in split_spec(two_node_spec).values():
+            sub.topological_order()  # must not raise
+
+
+class TestWaves:
+    def test_db_before_app(self, two_node_spec):
+        waves = machine_waves(two_node_spec)
+        assert waves == [["dbnode"], ["appnode"]]
+
+    def test_independent_machines_share_wave(self, registry, infrastructure):
+        partial = PartialInstallSpec(
+            [
+                PartialInstance("a", as_key("Ubuntu-Linux 10.04"),
+                                config={"hostname": "a"}),
+                PartialInstance("b", as_key("Ubuntu-Linux 10.04"),
+                                config={"hostname": "b"}),
+                PartialInstance("db_a", as_key("MySQL 5.1"), inside_id="a"),
+                PartialInstance("db_b", as_key("MySQL 5.1"), inside_id="b"),
+            ]
+        )
+        partial = provision_partial_spec(registry, partial, infrastructure)
+        spec = ConfigurationEngine(registry).configure(partial).spec
+        assert machine_waves(spec) == [["a", "b"]]
+
+
+class TestMasterCoordinator:
+    def test_deploys_everything(
+        self, registry, infrastructure, drivers, two_node_spec
+    ):
+        coordinator = MasterCoordinator(registry, infrastructure, drivers)
+        deployment = coordinator.deploy(two_node_spec)
+        assert deployment.is_deployed()
+        assert set(deployment.states()) == set(two_node_spec.ids())
+
+    def test_cross_machine_service_reachable(
+        self, registry, infrastructure, drivers, two_node_spec
+    ):
+        coordinator = MasterCoordinator(registry, infrastructure, drivers)
+        coordinator.deploy(two_node_spec)
+        # OpenMRS on app1 talked to MySQL on db1 during startup; both live.
+        assert infrastructure.network.can_connect("db1", 3306)
+        assert infrastructure.network.can_connect("app1", 8080)
+
+    def test_report_costs(self, registry, infrastructure, drivers, two_node_spec):
+        coordinator = MasterCoordinator(registry, infrastructure, drivers)
+        deployment = coordinator.deploy(two_node_spec)
+        report = deployment.report
+        assert set(report.per_machine_seconds) == {"appnode", "dbnode"}
+        assert report.sequential_seconds == pytest.approx(
+            sum(report.per_machine_seconds.values())
+        )
+        assert (
+            report.parallel_makespan_seconds
+            <= report.sequential_seconds + 1e-9
+        )
+
+    def test_slave_agent_installed_per_host(
+        self, registry, infrastructure, drivers, two_node_spec
+    ):
+        """S5.2: a slave instance of Engage runs on each target host --
+        the coordinator installs the agent package before deploying."""
+        coordinator = MasterCoordinator(registry, infrastructure, drivers)
+        deployment = coordinator.deploy(two_node_spec)
+        assert sorted(deployment.report.agents_installed) == ["app1", "db1"]
+        for hostname in ("app1", "db1"):
+            machine = infrastructure.network.machine(hostname)
+            manager = infrastructure.package_manager(machine)
+            assert manager.is_installed("engage-agent")
+
+    def test_agent_install_idempotent(
+        self, registry, infrastructure, drivers, two_node_spec
+    ):
+        coordinator = MasterCoordinator(registry, infrastructure, drivers)
+        first = coordinator.deploy(two_node_spec)
+        coordinator.shutdown(first)
+        # Redeploy on the same machines: agents already present.
+        second = coordinator.deploy(two_node_spec)
+        assert second.report.agents_installed == []
+
+    def test_shutdown_reverse_waves(
+        self, registry, infrastructure, drivers, two_node_spec
+    ):
+        coordinator = MasterCoordinator(registry, infrastructure, drivers)
+        deployment = coordinator.deploy(two_node_spec)
+        coordinator.shutdown(deployment)
+        from repro.drivers import INACTIVE
+
+        assert set(deployment.states().values()) == {INACTIVE}

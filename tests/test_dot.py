@@ -1,0 +1,110 @@
+"""DOT rendering of hypergraphs and full specifications."""
+
+import pytest
+
+from repro.config import ConfigurationEngine, generate_graph
+from repro.dsl import graph_to_dot, spec_to_dot
+
+
+@pytest.fixture
+def graph(registry, openmrs_partial):
+    return generate_graph(registry, openmrs_partial)
+
+
+@pytest.fixture
+def spec(registry, openmrs_partial):
+    return ConfigurationEngine(registry).configure(openmrs_partial).spec
+
+
+class TestGraphToDot:
+    def test_all_nodes_present(self, graph):
+        dot = graph_to_dot(graph)
+        for node_id in ("server", "tomcat", "openmrs", "jdk", "jre",
+                        "mysql"):
+            assert f'"{node_id}"' in dot
+
+    def test_partial_nodes_doubled(self, graph):
+        dot = graph_to_dot(graph)
+        server_line = next(
+            l for l in dot.splitlines()
+            if l.strip().startswith('"server" [')
+        )
+        assert "peripheries=2" in server_line
+        jdk_line = next(
+            l for l in dot.splitlines() if l.strip().startswith('"jdk" [')
+        )
+        assert "peripheries" not in jdk_line
+
+    def test_hyperedges_get_junctions(self, graph):
+        dot = graph_to_dot(graph)
+        # Two multi-target env edges -> two junction points.
+        assert dot.count("shape=point") == 2
+        assert '"tomcat" -> "xor_' in dot or '"xor_' in dot
+
+    def test_edge_kinds_styled(self, graph):
+        dot = graph_to_dot(graph)
+        assert 'label="inside"' in dot
+        assert 'label="env"' in dot
+        assert 'label="peer"' in dot
+
+    def test_valid_dot_shape(self, graph):
+        dot = graph_to_dot(graph)
+        assert dot.startswith("digraph ")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}")
+
+
+class TestSpecToDot:
+    def test_machine_clusters(self, spec):
+        dot = spec_to_dot(spec)
+        assert "subgraph cluster_0" in dot
+        assert 'label="server"' in dot
+
+    def test_links_rendered(self, spec):
+        dot = spec_to_dot(spec)
+        assert '"openmrs" -> "tomcat"' in dot
+        assert '"openmrs" -> "mysql"' in dot
+
+    def test_multi_machine_clusters(self, registry, infrastructure):
+        from repro.core import PartialInstallSpec, PartialInstance, as_key
+        from repro.runtime import provision_partial_spec
+
+        partial = provision_partial_spec(
+            registry,
+            PartialInstallSpec(
+                [
+                    PartialInstance("m1", as_key("Ubuntu-Linux 10.04"),
+                                    config={"hostname": "a"}),
+                    PartialInstance("m2", as_key("Ubuntu-Linux 10.04"),
+                                    config={"hostname": "b"}),
+                    PartialInstance("db", as_key("MySQL 5.1"),
+                                    inside_id="m2"),
+                    PartialInstance("tc", as_key("Tomcat 6.0.18"),
+                                    inside_id="m1"),
+                ]
+            ),
+            infrastructure,
+        )
+        spec = ConfigurationEngine(registry).configure(partial).spec
+        dot = spec_to_dot(spec)
+        assert "cluster_0" in dot and "cluster_1" in dot
+
+
+class TestCliDot:
+    def test_graph_dot_flag(self, tmp_path):
+        import json
+
+        from repro.cli import main
+        import io
+
+        path = tmp_path / "p.json"
+        path.write_text(json.dumps([
+            {"id": "server", "key": "Mac-OSX 10.6",
+             "config_port": {"hostname": "h"}},
+            {"id": "tomcat", "key": "Tomcat 6.0.18",
+             "inside": {"id": "server"}},
+        ]))
+        out = io.StringIO()
+        code = main(["graph", "--dot", str(path)], out=out)
+        assert code == 0
+        assert out.getvalue().startswith("digraph ")

@@ -1,0 +1,113 @@
+"""The DSL lexer."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.dsl import Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        assert kinds("") == [TokenKind.EOF]
+
+    def test_whitespace_only(self):
+        assert kinds("  \t \n  ") == [TokenKind.EOF]
+
+    def test_comments_skipped(self):
+        assert kinds("# a comment\n# another") == [TokenKind.EOF]
+
+    def test_comment_to_end_of_line(self):
+        tokens = tokenize("x # rest ignored\ny")
+        assert [t.text for t in tokens[:-1]] == ["x", "y"]
+
+
+class TestStrings:
+    def test_simple(self):
+        token = tokenize('"Tomcat"')[0]
+        assert token.kind == TokenKind.STRING
+        assert token.text == "Tomcat"
+
+    def test_escapes(self):
+        assert tokenize(r'"a\"b\n\t\\"')[0].text == 'a"b\n\t\\'
+
+    def test_unterminated(self):
+        with pytest.raises(ParseError):
+            tokenize('"never closed')
+
+    def test_newline_inside_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize('"line\nbreak"')
+
+
+class TestNumbers:
+    @pytest.mark.parametrize("text", ["0", "8080", "1.5", "6.0.18", "10.04"])
+    def test_number_raw_text_kept(self, text):
+        token = tokenize(text)[0]
+        assert token.kind == TokenKind.NUMBER
+        assert token.text == text
+
+    def test_negative(self):
+        assert tokenize("-5")[0].text == "-5"
+
+    def test_trailing_dot_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("1.")
+
+
+class TestIdentifiersAndKeywords:
+    def test_keywords(self):
+        for word in ("resource", "abstract", "inside", "env", "peer",
+                     "input", "config", "output", "static", "format"):
+            assert tokenize(word)[0].kind == TokenKind.KEYWORD
+
+    def test_identifier(self):
+        token = tokenize("manager_port")[0]
+        assert token.kind == TokenKind.IDENT
+        assert token.text == "manager_port"
+
+    def test_identifier_with_digits(self):
+        assert tokenize("port2")[0].text == "port2"
+
+
+class TestPunctuation:
+    def test_arrow(self):
+        assert kinds("a -> b")[:3] == [
+            TokenKind.IDENT,
+            TokenKind.ARROW,
+            TokenKind.IDENT,
+        ]
+
+    def test_all_single_chars(self):
+        source = "{ } [ ] ( ) : = , . | *"
+        expected = [
+            TokenKind.LBRACE, TokenKind.RBRACE, TokenKind.LBRACKET,
+            TokenKind.RBRACKET, TokenKind.LPAREN, TokenKind.RPAREN,
+            TokenKind.COLON, TokenKind.EQUALS, TokenKind.COMMA,
+            TokenKind.DOT, TokenKind.PIPE, TokenKind.STAR, TokenKind.EOF,
+        ]
+        assert kinds(source) == expected
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = tokenize('x\n  "s"')
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokenize("ok\n   @")
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == 4

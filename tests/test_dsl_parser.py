@@ -1,0 +1,201 @@
+"""The DSL parser."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.dsl import (
+    FormatAst,
+    ListAst,
+    ListTypeAst,
+    LitAst,
+    RecordAst,
+    RecordTypeAst,
+    RefAst,
+    ScalarTypeAst,
+    parse_module,
+)
+
+
+def single(source):
+    module = parse_module(source)
+    assert len(module.resources) == 1
+    return module.resources[0]
+
+
+class TestResourceHeader:
+    def test_minimal(self):
+        r = single('resource "X" 1.0 {}')
+        assert r.name == "X"
+        assert r.version == "1.0"
+        assert not r.abstract
+
+    def test_abstract_unversioned(self):
+        r = single('abstract resource "Server" {}')
+        assert r.abstract
+        assert r.version is None
+
+    def test_extends_and_driver(self):
+        r = single('resource "Mac" 10.6 extends "Server" driver "machine" {}')
+        assert r.extends.name == "Server"
+        assert r.driver == "machine"
+
+    def test_multiple_resources(self):
+        module = parse_module('resource "A" 1 {}\nresource "B" 2 {}')
+        assert [r.name for r in module.resources] == ["A", "B"]
+
+    def test_missing_name(self):
+        with pytest.raises(ParseError):
+            parse_module("resource 1.0 {}")
+
+    def test_unclosed_body(self):
+        with pytest.raises(ParseError):
+            parse_module('resource "X" 1 {')
+
+
+class TestPorts:
+    def test_config_with_default(self):
+        r = single('resource "X" 1 { config port: tcp_port = 8080 }')
+        port = r.ports[0]
+        assert port.kind == "config"
+        assert port.name == "port"
+        assert port.type == ScalarTypeAst("tcp_port")
+        assert port.value == LitAst(8080)
+
+    def test_input_no_value(self):
+        r = single('resource "X" 1 { input host: hostname }')
+        assert r.ports[0].kind == "input"
+        assert r.ports[0].value is None
+
+    def test_static_output(self):
+        r = single('resource "X" 1 { static output s: string = "v" }')
+        assert r.ports[0].static
+        assert r.ports[0].kind == "output"
+
+    def test_record_type(self):
+        r = single(
+            'resource "X" 1 { input db: { host: hostname, port: tcp_port } }'
+        )
+        assert r.ports[0].type == RecordTypeAst(
+            (("host", ScalarTypeAst("hostname")),
+             ("port", ScalarTypeAst("tcp_port")))
+        )
+
+    def test_list_type(self):
+        r = single('resource "X" 1 { config xs: list[string] = [] }')
+        assert r.ports[0].type == ListTypeAst(ScalarTypeAst("string"))
+
+    def test_missing_colon(self):
+        with pytest.raises(ParseError):
+            parse_module('resource "X" 1 { config port tcp_port }')
+
+
+class TestExpressions:
+    def test_literals(self):
+        r = single(
+            'resource "X" 1 {\n'
+            '  config a: string = "s"\n'
+            "  config b: int = 5\n"
+            "  config c: float = 2.5\n"
+            "  config d: bool = true\n"
+            "  config e: bool = false\n"
+            "}"
+        )
+        values = [p.value for p in r.ports]
+        assert values == [
+            LitAst("s"), LitAst(5), LitAst(2.5), LitAst(True), LitAst(False)
+        ]
+
+    def test_refs(self):
+        r = single(
+            'resource "X" 1 { output o: string = input.db.host }'
+        )
+        assert r.ports[0].value == RefAst("input", "db", ("host",))
+
+    def test_config_ref(self):
+        r = single('resource "X" 1 { output o: int = config.port }')
+        assert r.ports[0].value == RefAst("config", "port", ())
+
+    def test_record_expr(self):
+        r = single(
+            'resource "X" 1 { output o: { a: int } = { a = 1 } }'
+        )
+        assert r.ports[0].value == RecordAst((("a", LitAst(1)),))
+
+    def test_list_expr(self):
+        r = single('resource "X" 1 { config o: list[int] = [1, 2] }')
+        assert r.ports[0].value == ListAst((LitAst(1), LitAst(2)))
+
+    def test_format_expr(self):
+        r = single(
+            'resource "X" 1 {\n'
+            '  output url: string = format("http://{h}", h = input.host)\n'
+            "}"
+        )
+        assert r.ports[0].value == FormatAst(
+            "http://{h}", (("h", RefAst("input", "host", ())),)
+        )
+
+    def test_version_literal_in_expr_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module('resource "X" 1 { config v: string = 6.0.18 }')
+
+
+class TestDependencies:
+    def test_inside_with_mapping(self):
+        r = single(
+            'resource "X" 1 { inside "Server" { host -> my_host } }'
+        )
+        dep = r.dependencies[0]
+        assert dep.kind == "inside"
+        assert dep.targets[0].name == "Server"
+        assert dep.mapping == (("host", "my_host"),)
+
+    def test_versioned_target(self):
+        r = single('resource "X" 1 { peer "MySQL" 5.1 }')
+        target = r.dependencies[0].targets[0]
+        assert target.name == "MySQL"
+        assert target.version == "5.1"
+
+    def test_disjunction(self):
+        r = single('resource "X" 1 { env "JDK" 1.6 | "JRE" 1.6 }')
+        assert [t.name for t in r.dependencies[0].targets] == ["JDK", "JRE"]
+
+    def test_version_range(self):
+        r = single('resource "X" 1 { inside "Tomcat" [5.5, 6.0.29) }')
+        vr = r.dependencies[0].targets[0].version_range
+        assert (vr.lo, vr.hi) == ("5.5", "6.0.29")
+        assert vr.lo_inclusive and not vr.hi_inclusive
+
+    def test_unbounded_range(self):
+        r = single('resource "X" 1 { env "Java" [1.5, *] }')
+        vr = r.dependencies[0].targets[0].version_range
+        assert vr.lo == "1.5" and vr.hi is None and vr.hi_inclusive
+
+    def test_reverse_mapping(self):
+        r = single(
+            'resource "X" 1 {\n'
+            '  inside "Tomcat" 6.0.18 { tomcat -> tomcat }'
+            " reverse { conf -> extra }\n"
+            "}"
+        )
+        dep = r.dependencies[0]
+        assert dep.reverse == (("conf", "extra"),)
+
+    def test_bad_range_close(self):
+        with pytest.raises(ParseError):
+            parse_module('resource "X" 1 { env "Y" [1, 2} }')
+
+
+class TestErrors:
+    def test_stray_keyword_in_body(self):
+        with pytest.raises(ParseError):
+            parse_module('resource "X" 1 { resource }')
+
+    def test_garbage_toplevel(self):
+        with pytest.raises(ParseError):
+            parse_module("bananas")
+
+    def test_error_mentions_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_module('resource "X" 1 {\n  config : int\n}')
+        assert excinfo.value.line == 2

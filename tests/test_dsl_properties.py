@@ -1,0 +1,140 @@
+"""Property-based round-trip tests for the DSL (hypothesis)."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BOOL,
+    HOSTNAME,
+    INT,
+    PATH,
+    STRING,
+    TCP_PORT,
+    RecordType,
+    config_ref,
+    define,
+)
+from repro.core.values import Format, Lit, RecordExpr
+from repro.dsl import (
+    format_expr,
+    format_module,
+    format_type,
+    lower_module,
+    parse_module,
+    tokenize,
+)
+
+port_names = st.text(
+    alphabet=string.ascii_lowercase, min_size=1, max_size=8
+).map(lambda s: "p_" + s)
+
+scalars = st.sampled_from([STRING, INT, BOOL, PATH, HOSTNAME, TCP_PORT])
+
+
+def value_for(port_type):
+    if port_type is INT:
+        return st.integers(min_value=-1000, max_value=1000)
+    if port_type is TCP_PORT:
+        return st.integers(min_value=0, max_value=65535)
+    if port_type is BOOL:
+        return st.booleans()
+    return st.text(
+        alphabet=string.ascii_letters + string.digits + " _-/.",
+        max_size=12,
+    )
+
+
+resource_specs = st.dictionaries(
+    port_names, scalars, min_size=1, max_size=5
+).flatmap(
+    lambda ports: st.tuples(
+        st.just(ports),
+        st.tuples(*[value_for(t) for t in ports.values()])
+        if ports
+        else st.just(()),
+    )
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(resource_specs)
+def test_resource_type_roundtrip(spec):
+    """pretty -> parse -> lower is the identity on generated types."""
+    ports, values = spec
+    builder = define("Gen", "1.0", driver="service")
+    for (name, port_type), value in zip(ports.items(), values):
+        builder.config(name, port_type, value)
+    first = ports and next(iter(ports))
+    if first:
+        builder.output("echo", ports[first], config_ref(first))
+    original = builder.build()
+
+    text = format_module([original])
+    again = lower_module(parse_module(text))
+    assert again == [original]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.dictionaries(port_names, scalars, min_size=1, max_size=4)
+)
+def test_record_type_roundtrip(fields):
+    record = RecordType.of(**fields)
+    text = format_type(record)
+    # Parse via a resource wrapper since types are not standalone.
+    module = parse_module(
+        f'resource "R" 1 {{ input r: {text} }}'
+    )
+    lowered = lower_module(module)[0]
+    assert lowered.input_port("r").type == record
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.text(
+        alphabet=string.ascii_letters + string.digits + " _-./:{}",
+        max_size=20,
+    )
+)
+def test_string_literal_roundtrip(text):
+    """Escaping in the pretty-printer survives the lexer."""
+    rendered = format_expr(Lit(text))
+    tokens = tokenize(rendered)
+    assert tokens[0].text == text
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.dictionaries(
+        port_names,
+        st.integers(min_value=0, max_value=9999),
+        min_size=1,
+        max_size=3,
+    )
+)
+def test_record_expr_roundtrip_via_resource(fields):
+    expr = RecordExpr.of(**{k: Lit(v) for k, v in fields.items()})
+    record_type = RecordType.of(**{k: INT for k in fields})
+    original = (
+        define("R", "1")
+        .output("o", record_type, expr)
+        .build()
+    )
+    again = lower_module(parse_module(format_module([original])))[0]
+    assert again.output_port("o").value == expr
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from("ab{}x "), max_size=12).map("".join))
+def test_format_template_roundtrip(template):
+    """Templates with braces survive pretty-printing (escaped quotes and
+    backslashes; braces are format placeholders and pass through)."""
+    expr = Format.of(template)
+    rendered = format_expr(expr)
+    tokens = tokenize(rendered)
+    # format("<template>") -- the template is the second token.
+    assert tokens[2].text == template

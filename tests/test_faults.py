@@ -1,0 +1,98 @@
+"""Fault injection and monitor resilience (chaos-style scenarios)."""
+
+import pytest
+
+from repro.core import PartialInstallSpec, PartialInstance, as_key
+from repro.config import ConfigurationEngine
+from repro.django import package_application, table1_apps
+from repro.runtime import (
+    DeploymentEngine,
+    ProcessMonitor,
+    provision_partial_spec,
+)
+from repro.sim import FaultInjector
+
+
+@pytest.fixture
+def system(registry, infrastructure, drivers):
+    webapp = next(a for a in table1_apps() if a.name == "WebApp")
+    key = package_application(webapp, registry, infrastructure)
+    partial = provision_partial_spec(
+        registry,
+        PartialInstallSpec(
+            [
+                PartialInstance("node", as_key("Ubuntu-Linux 10.04"),
+                                config={"hostname": "chaos"}),
+                PartialInstance("app", key, inside_id="node"),
+                PartialInstance("web", as_key("Gunicorn 0.13"),
+                                inside_id="node"),
+                PartialInstance("db", as_key("MySQL 5.1"),
+                                inside_id="node"),
+            ]
+        ),
+        infrastructure,
+    )
+    spec = ConfigurationEngine(
+        registry, verify_registry=False
+    ).configure(partial).spec
+    return DeploymentEngine(registry, infrastructure, drivers).deploy(spec)
+
+
+class TestFaultInjector:
+    def test_inject_fails_a_running_process(self, system):
+        injector = FaultInjector(system, seed=1)
+        records = injector.inject(1)
+        assert len(records) == 1
+        assert records[0].hostname == "chaos"
+
+    def test_deterministic_given_seed(self, registry, infrastructure,
+                                      drivers, system):
+        a = FaultInjector(system, seed=42).inject(3)
+        # Restart the victims so a second injector sees the same world.
+        monitor = ProcessMonitor(system)
+        monitor.poll()
+        b = FaultInjector(system, seed=42).inject(3)
+        assert [r.process_name for r in a] == [r.process_name for r in b]
+
+    def test_inject_zero(self, system):
+        injector = FaultInjector(system, seed=0)
+        assert injector.inject(0) == []
+
+    def test_inject_caps_at_running_count(self, system):
+        injector = FaultInjector(system, seed=0)
+        records = injector.inject(10_000)
+        # Every service failed, but no more than exist.
+        assert 0 < len(records) <= len(system.drivers)
+
+
+class TestMonitorResilience:
+    def test_campaign_keeps_system_alive(self, system, infrastructure):
+        """Twenty rounds of random failures: the monitor restarts every
+        victim and the full stack ends healthy."""
+        monitor = ProcessMonitor(system)
+        monitor.generate_config()
+        injector = FaultInjector(system, seed=7)
+        summary = injector.campaign(monitor, rounds=20)
+        assert summary["injected"] == summary["restarted"]
+        assert summary["injected"] > 0
+        # Everything is running again.
+        from repro.drivers.library import ServiceDriver
+
+        for driver in system.drivers.values():
+            if isinstance(driver, ServiceDriver):
+                assert driver.process is not None
+                assert driver.process.is_running()
+        # Core endpoints reachable.
+        assert infrastructure.network.can_connect("chaos", 3306)
+        assert infrastructure.network.can_connect("chaos", 8000)
+
+    def test_restart_counters_accumulate(self, system):
+        monitor = ProcessMonitor(system)
+        injector = FaultInjector(system, seed=3)
+        injector.campaign(monitor, rounds=10, max_failures_per_round=1)
+        restarts = sum(
+            d.process.restarts
+            for d in system.drivers.values()
+            if getattr(d, "process", None) is not None
+        )
+        assert restarts == len(monitor.events)

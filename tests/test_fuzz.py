@@ -1,0 +1,107 @@
+"""Fuzz-style robustness: hostile input never crashes, only raises the
+library's own error types."""
+
+from __future__ import annotations
+
+import json
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import EngageError, ParseError, SpecError
+from repro.dsl import parse_module, partial_from_json, tokenize
+from repro.sat import parse_dimacs
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=60))
+def test_lexer_total(source):
+    """The lexer either tokenises or raises ParseError -- never anything
+    else, never hangs."""
+    try:
+        tokens = tokenize(source)
+        assert tokens[-1].kind.value == "eof"
+    except ParseError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.text(
+        alphabet=string.ascii_letters + string.digits
+        + ' "{}[]()<>:=,.|*->#\n\t',
+        max_size=80,
+    )
+)
+def test_parser_total(source):
+    """The parser accepts or raises ParseError; no other exception."""
+    try:
+        parse_module(source)
+    except ParseError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.text(max_size=80))
+def test_partial_spec_parser_total(text):
+    try:
+        partial_from_json(text)
+    except SpecError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.recursive(
+        st.none()
+        | st.booleans()
+        | st.integers()
+        | st.text(max_size=8),
+        lambda children: st.lists(children, max_size=4)
+        | st.dictionaries(st.text(max_size=6), children, max_size=4),
+        max_leaves=12,
+    )
+)
+def test_partial_spec_on_arbitrary_json(document):
+    """Arbitrary well-formed JSON documents: parsed or SpecError."""
+    try:
+        partial_from_json(json.dumps(document))
+    except SpecError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.text(
+        alphabet="pcnf 0123456789-\n", max_size=60
+    )
+)
+def test_dimacs_parser_total(text):
+    from repro.core.errors import ConfigurationError
+
+    try:
+        parse_dimacs(text)
+    except (ConfigurationError, ValueError):
+        # ValueError only from int() on pathological tokens like "-".
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(max_size=100))
+def test_state_loader_total(text):
+    from repro.core.errors import RuntimeEngageError
+    from repro.library import (
+        standard_drivers,
+        standard_infrastructure,
+        standard_registry,
+    )
+    from repro.runtime import load_system
+
+    registry = standard_registry()
+    infrastructure = standard_infrastructure()
+    try:
+        load_system(registry, infrastructure, standard_drivers(), text)
+    except EngageError:
+        pass

@@ -1,0 +1,193 @@
+"""Resource instances and installation specifications."""
+
+import pytest
+
+from repro.core import (
+    DependencyLink,
+    InstallSpec,
+    InstanceRef,
+    PartialInstallSpec,
+    PartialInstance,
+    ResourceInstance,
+    as_key,
+)
+from repro.core.errors import CycleError, SpecError
+
+
+def link(kind, target_id, key="T 1"):
+    return DependencyLink(kind, InstanceRef(target_id, as_key(key)))
+
+
+def machine(instance_id="m"):
+    return ResourceInstance(id=instance_id, key=as_key("M 1"))
+
+
+def hosted(instance_id, container_id, peers=(), env=()):
+    return ResourceInstance(
+        id=instance_id,
+        key=as_key("H 1"),
+        inside=link("inside", container_id),
+        peers=tuple(link("peer", p) for p in peers),
+        environment=tuple(link("environment", e) for e in env),
+    )
+
+
+class TestPartialInstallSpec:
+    def test_add_and_lookup(self):
+        spec = PartialInstallSpec(
+            [PartialInstance("a", as_key("M 1"))]
+        )
+        assert "a" in spec
+        assert spec["a"].key == as_key("M 1")
+        assert spec.ids() == ["a"]
+
+    def test_duplicate_rejected(self):
+        spec = PartialInstallSpec([PartialInstance("a", as_key("M 1"))])
+        with pytest.raises(SpecError):
+            spec.add(PartialInstance("a", as_key("M 1")))
+
+    def test_missing_lookup(self):
+        with pytest.raises(SpecError):
+            PartialInstallSpec()["ghost"]
+
+
+class TestInstallSpec:
+    def test_duplicate_rejected(self):
+        spec = InstallSpec([machine()])
+        with pytest.raises(SpecError):
+            spec.add(machine())
+
+    def test_replace_instance(self):
+        spec = InstallSpec([machine()])
+        spec.replace_instance(
+            ResourceInstance(id="m", key=as_key("M 2"))
+        )
+        assert spec["m"].key == as_key("M 2")
+
+    def test_replace_missing_rejected(self):
+        with pytest.raises(SpecError):
+            InstallSpec().replace_instance(machine())
+
+    def test_machines(self):
+        spec = InstallSpec([machine(), hosted("h", "m")])
+        assert [m.id for m in spec.machines()] == ["m"]
+
+    def test_machine_id_follows_inside_chain(self):
+        spec = InstallSpec(
+            [machine(), hosted("mid", "m"), hosted("leaf", "mid")]
+        )
+        assert spec["leaf"].machine_id(spec) == "m"
+
+    def test_instances_on_machine(self):
+        spec = InstallSpec(
+            [
+                machine("m1"),
+                machine("m2"),
+                hosted("a", "m1"),
+                hosted("b", "m2"),
+            ]
+        )
+        assert [i.id for i in spec.instances_on_machine("m1")] == ["m1", "a"]
+
+    def test_downstream_ids(self):
+        spec = InstallSpec([machine(), hosted("h", "m")])
+        assert spec.downstream_ids("m") == ["h"]
+        assert spec.downstream_ids("h") == []
+
+
+class TestTopologicalOrder:
+    def test_dependencies_first(self):
+        spec = InstallSpec(
+            [
+                machine(),
+                hosted("db", "m"),
+                hosted("app", "m", peers=["db"]),
+            ]
+        )
+        order = [i.id for i in spec.topological_order()]
+        assert order.index("m") < order.index("db") < order.index("app")
+
+    def test_cycle_detected(self):
+        a = ResourceInstance(
+            id="a", key=as_key("X 1"), peers=(link("peer", "b"),)
+        )
+        b = ResourceInstance(
+            id="b", key=as_key("X 1"), peers=(link("peer", "a"),)
+        )
+        with pytest.raises(CycleError):
+            InstallSpec([a, b]).topological_order()
+
+    def test_link_to_missing_instance(self):
+        spec = InstallSpec([hosted("h", "ghost")])
+        with pytest.raises(SpecError):
+            spec.topological_order()
+
+    def test_deterministic(self):
+        spec = InstallSpec(
+            [machine(), hosted("b", "m"), hosted("a", "m")]
+        )
+        assert [i.id for i in spec.topological_order()] == [
+            i.id for i in spec.topological_order()
+        ]
+
+
+class TestMachineOrder:
+    def test_cross_machine_dependency_orders_machines(self):
+        spec = InstallSpec(
+            [
+                machine("app_node"),
+                machine("db_node"),
+                hosted("db", "db_node"),
+                hosted("app", "app_node", peers=["db"]),
+            ]
+        )
+        order = spec.machine_order()
+        assert order.index("db_node") < order.index("app_node")
+
+    def test_independent_machines_sorted(self):
+        spec = InstallSpec([machine("b"), machine("a")])
+        assert spec.machine_order() == ["a", "b"]
+
+    def test_cross_machine_cycle_detected(self):
+        a = ResourceInstance(id="ma", key=as_key("M 1"))
+        b = ResourceInstance(id="mb", key=as_key("M 1"))
+        on_a = ResourceInstance(
+            id="xa",
+            key=as_key("X 1"),
+            inside=link("inside", "ma"),
+            peers=(link("peer", "xb"),),
+        )
+        on_b = ResourceInstance(
+            id="xb",
+            key=as_key("X 1"),
+            inside=link("inside", "mb"),
+            peers=(link("peer", "xa"),),
+        )
+        with pytest.raises(CycleError):
+            InstallSpec([a, b, on_a, on_b]).machine_order()
+
+
+class TestResourceInstance:
+    def test_links_ordering(self):
+        instance = hosted("h", "m", peers=["p"], env=["e"])
+        kinds = [l.kind for l in instance.links()]
+        assert kinds == ["inside", "environment", "peer"]
+
+    def test_upstream_ids(self):
+        instance = hosted("h", "m", peers=["p"])
+        assert instance.upstream_ids() == ["m", "p"]
+
+    def test_is_machine(self):
+        assert machine().is_machine()
+        assert not hosted("h", "m").is_machine()
+
+    def test_inside_cycle_detected(self):
+        a = ResourceInstance(
+            id="a", key=as_key("X 1"), inside=link("inside", "b")
+        )
+        b = ResourceInstance(
+            id="b", key=as_key("X 1"), inside=link("inside", "a")
+        )
+        spec = InstallSpec([a, b])
+        with pytest.raises(CycleError):
+            a.machine_id(spec)

@@ -1,0 +1,124 @@
+"""Focused tests for smaller corners of the public surface."""
+
+import pytest
+
+from repro.config import ConfigurationEngine
+from repro.core import PartialInstallSpec, PartialInstance, as_key
+from repro.runtime import DeploymentEngine
+
+
+class TestDeploymentReportHelpers:
+    def test_actions_for(self, registry, infrastructure, drivers,
+                         openmrs_partial):
+        spec = ConfigurationEngine(registry).configure(openmrs_partial).spec
+        system = DeploymentEngine(
+            registry, infrastructure, drivers
+        ).deploy(spec)
+        mysql_actions = system.report.actions_for("mysql")
+        assert [a.action for a in mysql_actions] == ["install", "start"]
+        assert all(a.instance_id == "mysql" for a in mysql_actions)
+
+    def test_action_timestamps_monotonic(self, registry, infrastructure,
+                                         drivers, openmrs_partial):
+        spec = ConfigurationEngine(registry).configure(openmrs_partial).spec
+        system = DeploymentEngine(
+            registry, infrastructure, drivers
+        ).deploy(spec)
+        times = [a.started_at for a in system.report.actions]
+        assert times == sorted(times)
+        assert all(a.duration >= 0 for a in system.report.actions)
+
+
+class TestNetworkEndpoints:
+    def test_endpoints_listing(self, infrastructure):
+        machine = infrastructure.add_machine("e1")
+        machine.spawn_process("svc", listen_ports=[80, 8080])
+        endpoints = infrastructure.network.endpoints()
+        assert [(e.hostname, e.port) for e in endpoints] == [
+            ("e1", 80), ("e1", 8080),
+        ]
+        assert "svc" in str(endpoints[0])
+
+    def test_rebind_after_failure_allowed(self, infrastructure):
+        machine = infrastructure.add_machine("e2")
+        process = machine.spawn_process("svc", listen_ports=[80])
+        process.fail()
+        # A failed listener no longer owns the port.
+        machine.spawn_process("svc2", listen_ports=[80])
+        assert infrastructure.network.connect("e2", 80).name == "svc2"
+
+
+class TestClockEventLog:
+    def test_labels_partition_time(self, infrastructure):
+        clock = infrastructure.clock
+        clock.advance(5, "a")
+        clock.advance(3, "b")
+        clock.advance(2, "a")
+        totals = clock.elapsed_by_label()
+        assert totals == {"a": 7, "b": 3}
+        assert clock.now == 10
+        events = clock.events()
+        assert [e.label for e in events] == ["a", "b", "a"]
+        assert events[1].start == 5
+
+
+class TestProviderSelection:
+    def test_explicit_provider_argument(self, registry):
+        from repro.runtime import provision_partial_spec
+        from repro.sim import Infrastructure
+
+        infrastructure = Infrastructure()
+        slow = infrastructure.add_provider("slow", provision_seconds=100)
+        fast = infrastructure.add_provider("fast", provision_seconds=5)
+        partial = PartialInstallSpec(
+            [PartialInstance("m", as_key("Ubuntu-Linux 10.04"))]
+        )
+        out = provision_partial_spec(
+            registry, partial, infrastructure, provider=fast
+        )
+        hostname = out["m"].config["hostname"]
+        assert hostname.startswith("fast-node-")
+        assert infrastructure.clock.now == pytest.approx(5)
+
+
+class TestRegistryCaching:
+    def test_effective_is_memoised(self, registry):
+        key = as_key("Tomcat 6.0.18")
+        assert registry.effective(key) is registry.effective(key)
+
+    def test_raw_differs_from_effective_for_subtypes(self, registry):
+        key = as_key("Mac-OSX 10.6")
+        raw = registry.raw(key)
+        effective = registry.effective(key)
+        assert not raw.output_ports  # inherited only
+        assert effective.output_ports  # flattened in
+
+
+class TestConfigureEdges:
+    def test_empty_partial_spec(self, registry):
+        engine = ConfigurationEngine(registry)
+        result = engine.configure(PartialInstallSpec())
+        assert len(result.spec) == 0
+
+    def test_machine_only_partial(self, registry):
+        engine = ConfigurationEngine(registry)
+        partial = PartialInstallSpec(
+            [PartialInstance("m", as_key("Mac-OSX 10.6"),
+                             config={"hostname": "solo"})]
+        )
+        result = engine.configure(partial)
+        assert result.spec.ids() == ["m"]
+        assert result.spec["m"].outputs["host"]["hostname"] == "solo"
+
+    def test_sequential_encoding_end_to_end(self, registry,
+                                            openmrs_partial):
+        from repro.sat import ExactlyOneEncoding
+
+        engine = ConfigurationEngine(
+            registry, encoding=ExactlyOneEncoding.SEQUENTIAL,
+            verify_registry=False,
+        )
+        result = engine.configure(openmrs_partial)
+        assert {"server", "tomcat", "openmrs", "mysql"} <= set(
+            result.deployed_ids
+        )

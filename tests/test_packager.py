@@ -1,0 +1,172 @@
+"""The Django application packager and the Table 1 corpus."""
+
+import pytest
+
+from repro.core import as_key
+from repro.core.errors import SpecError
+from repro.django import (
+    DjangoAppDefinition,
+    fa_broken_snapshot,
+    fa_snapshots,
+    generate_app_type,
+    package_application,
+    table1_apps,
+    validate_application,
+)
+from repro.django.apps import _initial_migration
+
+
+class TestTable1Corpus:
+    def test_eight_applications(self):
+        apps = table1_apps()
+        assert len(apps) == 8
+        assert {a.name for a in apps} == {
+            "Areneae", "Buzzfire", "Codespeed", "Django-Blog",
+            "Django-CMS", "FA", "Feature-Collector", "WebApp",
+        }
+
+    def test_django_blog_has_18_pip_dependencies(self):
+        blog = next(a for a in table1_apps() if a.name == "Django-Blog")
+        assert len(blog.pip_packages) == 18
+
+    def test_buzzfire_uses_redis(self):
+        buzzfire = next(a for a in table1_apps() if a.name == "Buzzfire")
+        assert buzzfire.uses_redis
+
+    def test_webapp_production_features(self):
+        webapp = next(a for a in table1_apps() if a.name == "WebApp")
+        assert webapp.uses_celery and webapp.uses_redis
+        assert webapp.loc == 4000  # "about 4K lines of code"
+
+    def test_fa_snapshots_differ(self):
+        v1, v2 = fa_snapshots()
+        assert v1.version != v2.version
+        assert len(v2.migrations) == len(v1.migrations) + 1
+
+    def test_broken_snapshot_fails_last(self):
+        broken = fa_broken_snapshot()
+        assert broken.migrations[-1].operations[0].op == "fail"
+
+
+class TestValidation:
+    def good(self, **overrides):
+        base = dict(
+            name="GoodApp", version="1.0",
+            pip_packages=(("requests-lite", "0.8"),),
+        )
+        base.update(overrides)
+        return DjangoAppDefinition(**base)
+
+    def test_valid(self):
+        assert validate_application(self.good()) == []
+
+    def test_bad_name(self):
+        problems = validate_application(self.good(name="9bad name"))
+        assert any("invalid application name" in p for p in problems)
+
+    def test_bad_version(self):
+        problems = validate_application(self.good(version="latest"))
+        assert any("invalid version" in p for p in problems)
+
+    def test_duplicate_pip(self):
+        problems = validate_application(
+            self.good(pip_packages=(("x", "1"), ("x", "2")))
+        )
+        assert any("duplicate pip" in p for p in problems)
+
+    def test_pip_without_version(self):
+        problems = validate_application(
+            self.good(pip_packages=(("x", ""),))
+        )
+        assert any("has no version" in p for p in problems)
+
+    def test_duplicate_migration_names(self):
+        problems = validate_application(
+            self.good(
+                migrations=(
+                    _initial_migration("a", ["id"]),
+                    _initial_migration("b", ["id"]),
+                )
+            )
+        )
+        assert any("duplicate migration" in p for p in problems)
+
+    def test_table1_all_valid(self):
+        for app in table1_apps():
+            assert validate_application(app) == [], app.name
+
+
+class TestGeneratedTypes:
+    def test_extends_django_app(self):
+        app_type, _ = generate_app_type(table1_apps()[0])
+        assert app_type.extends == as_key("Django-App")
+        assert app_type.driver_name == "django-app"
+
+    def test_pip_dependencies_generated(self):
+        blog = next(a for a in table1_apps() if a.name == "Django-Blog")
+        app_type, pip_types = generate_app_type(blog)
+        assert len(pip_types) == 18
+        assert len(app_type.environment) == 18 + 1  # pip deps + South
+
+    def test_optional_services_as_peers(self):
+        webapp = next(a for a in table1_apps() if a.name == "WebApp")
+        app_type, _ = generate_app_type(webapp)
+        peer_names = {alt.key.name for dep in app_type.peers
+                      for alt in dep.alternatives}
+        assert {"Redis", "Memcached", "Celery"} <= peer_names
+
+    def test_static_identity_config(self):
+        app_type, _ = generate_app_type(table1_apps()[0])
+        from repro.core import PortEnv
+
+        name_port = app_type.config_port("app_name")
+        assert name_port.default.evaluate(PortEnv()) == "Areneae"
+
+
+class TestPackageApplication:
+    def test_registers_and_publishes(self, registry, infrastructure):
+        app = table1_apps()[0]
+        key = package_application(app, registry, infrastructure)
+        assert registry.has(key)
+        assert infrastructure.package_index.has(
+            app.archive_name(), app.version
+        )
+        for pkg, version in app.pip_packages:
+            assert infrastructure.package_index.has(
+                f"pypi-{pkg.lower()}", version
+            )
+
+    def test_idempotent(self, registry, infrastructure):
+        app = table1_apps()[0]
+        key1 = package_application(app, registry, infrastructure)
+        key2 = package_application(app, registry, infrastructure)
+        assert key1 == key2
+
+    def test_shared_pip_types_not_duplicated(self, registry, infrastructure):
+        # Areneae and FA both depend on simplejson.
+        apps = {a.name: a for a in table1_apps()}
+        package_application(apps["Areneae"], registry, infrastructure)
+        package_application(apps["FA"], registry, infrastructure)
+        assert registry.has(as_key("PyPkg-simplejson 2.1"))
+
+    def test_invalid_app_rejected(self, registry, infrastructure):
+        bad = DjangoAppDefinition(name="bad name!", version="1.0")
+        with pytest.raises(SpecError):
+            package_application(bad, registry, infrastructure)
+
+    def test_archive_contains_migrations(self, registry, infrastructure):
+        app = next(a for a in table1_apps() if a.name == "FA")
+        package_application(app, registry, infrastructure)
+        artifact = infrastructure.package_index.lookup(
+            app.archive_name(), app.version
+        )
+        files = dict(artifact.files)
+        assert f"{app.name}/migrations.json" in files
+        assert "0001_initial" in files[f"{app.name}/migrations.json"]
+
+    def test_registry_still_well_formed(self, registry, infrastructure):
+        from repro.core import check_registry
+
+        for app in table1_apps():
+            package_application(app, registry, infrastructure)
+        assert check_registry(registry) == []

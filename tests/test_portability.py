@@ -1,0 +1,120 @@
+"""The portability claim (Related Work section):
+
+"We can take an application and deploy it on multiple platforms (e.g.
+MacOSX and Linux) and in multiple configurations (e.g. development,
+testing, and production) without significantly more work than is
+required for a single configuration."
+
+The same three-line OpenMRS partial spec deploys on every OS in the
+library and with either Tomcat version -- only the machine key changes.
+"""
+
+import pytest
+
+from repro.config import ConfigurationEngine
+from repro.core import PartialInstallSpec, PartialInstance, as_key
+from repro.library import (
+    standard_drivers,
+    standard_infrastructure,
+    standard_registry,
+)
+from repro.runtime import DeploymentEngine
+
+ALL_OS = (
+    "Mac-OSX 10.5",
+    "Mac-OSX 10.6",
+    "Ubuntu-Linux 10.04",
+    "Ubuntu-Linux 10.10",
+    "Windows-XP 5.1",
+)
+
+
+def openmrs_on(os_key: str, tomcat_version: str) -> PartialInstallSpec:
+    return PartialInstallSpec(
+        [
+            PartialInstance("server", as_key(os_key),
+                            config={"hostname": "host-x"}),
+            PartialInstance("tomcat", as_key(f"Tomcat {tomcat_version}"),
+                            inside_id="server"),
+            PartialInstance("openmrs", as_key("OpenMRS 1.8"),
+                            inside_id="tomcat"),
+        ]
+    )
+
+
+@pytest.mark.parametrize("os_key", ALL_OS)
+def test_openmrs_deploys_on_every_platform(os_key):
+    registry = standard_registry()
+    infrastructure = standard_infrastructure()
+    spec = ConfigurationEngine(registry).configure(
+        openmrs_on(os_key, "6.0.18")
+    ).spec
+    system = DeploymentEngine(
+        registry, infrastructure, standard_drivers()
+    ).deploy(spec)
+    assert system.is_deployed()
+    assert spec["server"].key == as_key(os_key)
+
+
+@pytest.mark.parametrize("tomcat_version", ["5.5", "6.0.18"])
+def test_openmrs_deploys_in_either_container(tomcat_version):
+    """OpenMRS's version-range inside dependency [5.5, 6.0.29) admits
+    both library Tomcats."""
+    registry = standard_registry()
+    infrastructure = standard_infrastructure()
+    spec = ConfigurationEngine(registry).configure(
+        openmrs_on("Ubuntu-Linux 10.04", tomcat_version)
+    ).spec
+    system = DeploymentEngine(
+        registry, infrastructure, standard_drivers()
+    ).deploy(spec)
+    assert system.is_deployed()
+    machine = infrastructure.network.machine("host-x")
+    assert machine.fs.is_dir(f"/opt/tomcat-{tomcat_version}/webapps/openmrs")
+
+
+def test_same_partial_spec_shape_everywhere():
+    """The user-visible work is identical across platforms: specs differ
+    only in the machine key (the paper's 'without significantly more
+    work' claim, made precise)."""
+    from repro.dsl import partial_to_json
+
+    texts = [
+        partial_to_json(openmrs_on(os_key, "6.0.18")) for os_key in ALL_OS
+    ]
+    normalised = {
+        text.replace(as_key(os_key).display(), "OS")
+        for text, os_key in zip(texts, ALL_OS)
+    }
+    assert len(normalised) == 1
+
+
+def test_dev_and_production_configs_differ_only_in_values():
+    """Development vs production: same structure, different config-port
+    values (debug SQLite vs MySQL with a strong password)."""
+    registry = standard_registry()
+    engine = ConfigurationEngine(registry)
+    development = PartialInstallSpec(
+        [
+            PartialInstance("server", as_key("Mac-OSX 10.6"),
+                            config={"hostname": "laptop"}),
+            PartialInstance("db", as_key("SQLite 3.7"),
+                            inside_id="server"),
+        ]
+    )
+    production = PartialInstallSpec(
+        [
+            PartialInstance("server", as_key("Ubuntu-Linux 10.04"),
+                            config={"hostname": "prod-db"}),
+            PartialInstance(
+                "db", as_key("MySQL 5.1"), inside_id="server",
+                config={"password": "str0ng", "port": 3307},
+            ),
+        ]
+    )
+    dev_spec = engine.configure(development).spec
+    prod_spec = engine.configure(production).spec
+    assert dev_spec["db"].outputs["database"]["engine"] == "sqlite"
+    assert prod_spec["db"].outputs["database"]["engine"] == "mysql"
+    assert prod_spec["db"].outputs["database"]["port"] == 3307
+    assert prod_spec["db"].outputs["database"]["password"] == "str0ng"

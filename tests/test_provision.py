@@ -1,0 +1,124 @@
+"""Provisioning: server discovery and cloud fill-in."""
+
+import pytest
+
+from repro.core import PartialInstallSpec, PartialInstance, as_key
+from repro.core.errors import ProvisioningError
+from repro.runtime import (
+    discover_machine,
+    machine_os_identity,
+    provision_partial_spec,
+)
+from repro.sim import Infrastructure
+
+
+class TestDiscovery:
+    def test_discover_machine(self, infrastructure):
+        machine = infrastructure.add_machine("known", "mac-osx", "10.6")
+        facts = discover_machine(machine)
+        assert facts["hostname"] == "known"
+        assert facts["os_user_name"] == "root"
+
+
+class TestOsIdentity:
+    def test_from_static_config_defaults(self, registry):
+        instance = PartialInstance("m", as_key("Mac-OSX 10.6"))
+        assert machine_os_identity(registry, instance) == ("mac-osx", "10.6")
+
+    def test_explicit_config_wins(self, registry):
+        instance = PartialInstance(
+            "m", as_key("Mac-OSX 10.6"), config={"os_version": "10.6.8"}
+        )
+        assert machine_os_identity(registry, instance) == (
+            "mac-osx",
+            "10.6.8",
+        )
+
+    def test_ubuntu(self, registry):
+        instance = PartialInstance("m", as_key("Ubuntu-Linux 10.04"))
+        assert machine_os_identity(registry, instance) == (
+            "ubuntu-linux",
+            "10.04",
+        )
+
+
+class TestProvisioning:
+    def test_existing_machine_discovered(self, registry, infrastructure):
+        infrastructure.add_machine("pre", "mac-osx", "10.6",
+                                   os_user_name="deploy")
+        partial = PartialInstallSpec(
+            [
+                PartialInstance(
+                    "m", as_key("Mac-OSX 10.6"), config={"hostname": "pre"}
+                )
+            ]
+        )
+        out = provision_partial_spec(registry, partial, infrastructure)
+        assert out["m"].config["os_user_name"] == "deploy"
+
+    def test_named_machine_created(self, registry, infrastructure):
+        partial = PartialInstallSpec(
+            [
+                PartialInstance(
+                    "m", as_key("Ubuntu-Linux 10.04"),
+                    config={"hostname": "fresh"},
+                )
+            ]
+        )
+        provision_partial_spec(registry, partial, infrastructure)
+        machine = infrastructure.network.machine("fresh")
+        assert machine.os.name == "ubuntu-linux"
+        assert machine.os.version == "10.04"
+
+    def test_cloud_provisioning_fills_hostname(self, registry, infrastructure):
+        partial = PartialInstallSpec(
+            [PartialInstance("m", as_key("Ubuntu-Linux 10.10"))]
+        )
+        out = provision_partial_spec(registry, partial, infrastructure)
+        hostname = out["m"].config["hostname"]
+        assert infrastructure.network.has_machine(hostname)
+        assert infrastructure.clock.now >= 55  # provisioning latency
+
+    def test_no_provider_error(self, registry):
+        bare = Infrastructure()
+        partial = PartialInstallSpec(
+            [PartialInstance("m", as_key("Ubuntu-Linux 10.04"))]
+        )
+        with pytest.raises(ProvisioningError):
+            provision_partial_spec(registry, partial, bare)
+
+    def test_non_machines_untouched(self, registry, infrastructure):
+        partial = PartialInstallSpec(
+            [
+                PartialInstance(
+                    "m", as_key("Mac-OSX 10.6"), config={"hostname": "h"}
+                ),
+                PartialInstance("t", as_key("Tomcat 6.0.18"), inside_id="m"),
+            ]
+        )
+        out = provision_partial_spec(registry, partial, infrastructure)
+        assert out["t"].config == {}
+        assert out["t"].inside_id == "m"
+
+    def test_end_to_end_cloud_deploy(self, registry, infrastructure, drivers):
+        """Cloud-provisioned OpenMRS: no hostnames anywhere."""
+        from repro.config import ConfigurationEngine
+        from repro.runtime import DeploymentEngine
+
+        partial = PartialInstallSpec(
+            [
+                PartialInstance("server", as_key("Mac-OSX 10.6")),
+                PartialInstance(
+                    "tomcat", as_key("Tomcat 6.0.18"), inside_id="server"
+                ),
+                PartialInstance(
+                    "openmrs", as_key("OpenMRS 1.8"), inside_id="tomcat"
+                ),
+            ]
+        )
+        partial = provision_partial_spec(registry, partial, infrastructure)
+        spec = ConfigurationEngine(registry).configure(partial).spec
+        system = DeploymentEngine(registry, infrastructure, drivers).deploy(
+            spec
+        )
+        assert system.is_deployed()

@@ -1,0 +1,84 @@
+"""The public API surface: exports resolve and stay stable."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.dsl",
+    "repro.sat",
+    "repro.config",
+    "repro.drivers",
+    "repro.runtime",
+    "repro.sim",
+    "repro.library",
+    "repro.django",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_names_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__")
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+def test_top_level_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_quickstart_from_module_docstring():
+    """The snippet in repro's module docstring must actually work."""
+    from repro import (
+        ConfigurationEngine,
+        DeploymentEngine,
+        PartialInstallSpec,
+        PartialInstance,
+        as_key,
+        standard_drivers,
+        standard_infrastructure,
+        standard_registry,
+    )
+
+    registry = standard_registry()
+    infra = standard_infrastructure()
+    partial = PartialInstallSpec(
+        [
+            PartialInstance("server", as_key("Mac-OSX 10.6"),
+                            config={"hostname": "demo"}),
+            PartialInstance("tomcat", as_key("Tomcat 6.0.18"),
+                            inside_id="server"),
+            PartialInstance("openmrs", as_key("OpenMRS 1.8"),
+                            inside_id="tomcat"),
+        ]
+    )
+    full = ConfigurationEngine(registry).configure(partial).spec
+    system = DeploymentEngine(
+        registry, infra, standard_drivers()
+    ).deploy(full)
+    assert system.is_deployed()
+
+
+def test_no_private_leakage_in_public_all():
+    import repro
+
+    assert not any(name.startswith("_") for name in repro.__all__
+                   if name != "__version__")
+
+
+def test_error_hierarchy_is_catchable():
+    """Every library error derives from EngageError."""
+    from repro.core import errors
+
+    base = errors.EngageError
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            if obj in (Exception,):
+                continue
+            assert issubclass(obj, base), name

@@ -1,0 +1,98 @@
+"""The deployment engine's partial operations (prepare / stop_instances /
+uninstall_instances / activate), used by in-place upgrades."""
+
+import pytest
+
+from repro.config import ConfigurationEngine
+from repro.core import PartialInstallSpec, PartialInstance, as_key
+from repro.drivers import ACTIVE, INACTIVE, UNINSTALLED
+from repro.runtime import DeploymentEngine
+
+
+@pytest.fixture
+def spec(registry, openmrs_partial):
+    return ConfigurationEngine(registry).configure(openmrs_partial).spec
+
+
+@pytest.fixture
+def engine(registry, infrastructure, drivers):
+    return DeploymentEngine(registry, infrastructure, drivers)
+
+
+class TestPrepare:
+    def test_prepare_performs_no_actions(self, engine, spec, infrastructure):
+        before = infrastructure.clock.now
+        system = engine.prepare(spec)
+        assert infrastructure.clock.now == before
+        assert set(system.states().values()) == {UNINSTALLED}
+
+    def test_prepare_reuses_drivers(self, engine, spec):
+        original = engine.deploy(spec)
+        mysql_driver = original.driver("mysql")
+        rebuilt = engine.prepare(
+            spec, reuse_drivers={"mysql": mysql_driver}
+        )
+        assert rebuilt.driver("mysql") is mysql_driver
+        assert rebuilt.state_of("mysql") == ACTIVE
+        assert rebuilt.state_of("tomcat") == UNINSTALLED
+
+    def test_reuse_ignores_unknown_ids(self, engine, spec):
+        original = engine.deploy(spec)
+        rebuilt = engine.prepare(
+            spec, reuse_drivers={"ghost": original.driver("mysql")}
+        )
+        assert "ghost" not in rebuilt.drivers
+
+
+class TestStopInstances:
+    def test_stops_only_requested(self, engine, spec):
+        system = engine.deploy(spec)
+        engine.stop_instances(system, {"openmrs"})
+        assert system.state_of("openmrs") == INACTIVE
+        assert system.state_of("tomcat") == ACTIVE
+        assert system.state_of("mysql") == ACTIVE
+
+    def test_respects_reverse_order(self, engine, spec):
+        system = engine.deploy(spec)
+        report = engine.stop_instances(system, {"openmrs", "tomcat"})
+        stops = [a.instance_id for a in report.actions
+                 if a.action == "stop"]
+        assert stops == ["openmrs", "tomcat"]
+
+    def test_guard_violation_when_closure_incomplete(self, engine, spec):
+        from repro.core.errors import GuardError
+
+        system = engine.deploy(spec)
+        # Stopping tomcat alone violates down(inactive): openmrs active.
+        with pytest.raises(GuardError):
+            engine.stop_instances(system, {"tomcat"})
+
+
+class TestUninstallInstances:
+    def test_selected_removal(self, engine, spec, infrastructure):
+        system = engine.deploy(spec)
+        engine.stop_instances(system, {"openmrs"})
+        engine.uninstall_instances(system, {"openmrs"})
+        assert system.state_of("openmrs") == UNINSTALLED
+        machine = infrastructure.network.machine("demotest")
+        manager = infrastructure.package_manager(machine)
+        assert not manager.is_installed("openmrs")
+        assert manager.is_installed("tomcat")
+
+
+class TestActivate:
+    def test_reactivates_stopped_subset(self, engine, spec):
+        system = engine.deploy(spec)
+        engine.stop_instances(system, {"openmrs"})
+        report = engine.activate(system)
+        assert system.is_deployed()
+        # Only openmrs needed a start.
+        starts = [a.instance_id for a in report.actions
+                  if a.action == "start"]
+        assert starts == ["openmrs"]
+
+    def test_activate_on_fresh_system_deploys(self, engine, spec):
+        system = engine.prepare(spec)
+        engine.activate(system)
+        assert system.is_deployed()
+        assert system.report is not None

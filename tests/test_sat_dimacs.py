@@ -1,0 +1,83 @@
+"""DIMACS CNF reading and writing."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.sat import (
+    CdclSolver,
+    CnfFormula,
+    dimacs_text,
+    parse_dimacs,
+)
+
+
+def sample_formula():
+    f = CnfFormula()
+    a, b, c = f.var("a"), f.var("b"), f.var("c")
+    f.add_clause([a, b])
+    f.add_clause([-a, c])
+    f.add_fact(c)
+    return f
+
+
+class TestWrite:
+    def test_header(self):
+        text = dimacs_text(sample_formula())
+        assert "p cnf 3 3" in text
+
+    def test_clause_lines_end_with_zero(self):
+        text = dimacs_text(sample_formula())
+        clause_lines = [
+            l for l in text.splitlines() if l and not l.startswith(("c", "p"))
+        ]
+        assert all(l.endswith(" 0") for l in clause_lines)
+        assert len(clause_lines) == 3
+
+    def test_names_as_comments(self):
+        text = dimacs_text(sample_formula())
+        assert "c var 1 = a" in text
+
+
+class TestRead:
+    def test_roundtrip_preserves_satisfiability(self):
+        original = sample_formula()
+        parsed = parse_dimacs(dimacs_text(original))
+        assert parsed.num_vars == original.num_vars
+        assert parsed.num_clauses == original.num_clauses
+        assert CdclSolver(parsed).solve() == CdclSolver(original).solve()
+
+    def test_parse_reference_format(self):
+        text = "c comment\np cnf 2 2\n1 2 0\n-1 0\n"
+        f = parse_dimacs(text)
+        assert f.num_vars == 2
+        assert list(f.clauses()) == [(1, 2), (-1,)]
+
+    def test_clause_split_across_lines(self):
+        text = "p cnf 3 1\n1 2\n3 0\n"
+        f = parse_dimacs(text)
+        assert list(f.clauses()) == [(1, 2, 3)]
+
+    def test_trailing_clause_without_zero(self):
+        text = "p cnf 2 1\n1 2\n"
+        f = parse_dimacs(text)
+        assert list(f.clauses()) == [(1, 2)]
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_dimacs("1 2 0\n")
+
+    def test_duplicate_header_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_dimacs("p cnf 1 1\np cnf 1 1\n1 0\n")
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_dimacs("p dnf 1 1\n1 0\n")
+
+    def test_literal_beyond_declared_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_dimacs("p cnf 1 1\n2 0\n")
+
+    def test_clause_count_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_dimacs("p cnf 1 5\n1 0\n")

@@ -1,0 +1,114 @@
+"""Exactly-one encodings: semantics checked by exhaustive model search."""
+
+import itertools
+
+import pytest
+
+from repro.sat import (
+    CdclSolver,
+    CnfFormula,
+    ExactlyOneEncoding,
+    at_most_one_pairwise,
+    at_most_one_sequential,
+    exactly_one,
+    implies_exactly_one,
+)
+
+
+def all_models(formula, over_vars):
+    """Every assignment to ``over_vars`` extendable to a model."""
+    models = []
+    for bits in itertools.product([False, True], repeat=len(over_vars)):
+        assumptions = [
+            v if bit else -v for v, bit in zip(over_vars, bits)
+        ]
+        solver = CdclSolver(formula.copy())
+        if solver.solve(assumptions):
+            models.append(bits)
+    return models
+
+
+@pytest.mark.parametrize(
+    "encoding", [ExactlyOneEncoding.PAIRWISE, ExactlyOneEncoding.SEQUENTIAL]
+)
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6])
+def test_exactly_one_semantics(encoding, n):
+    f = CnfFormula()
+    xs = [f.new_var() for _ in range(n)]
+    exactly_one(f, xs, encoding)
+    models = all_models(f, xs)
+    assert sorted(models) == sorted(
+        tuple(i == j for j in range(n)) for i in range(n)
+    )
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+def test_at_most_one_variants_agree(n):
+    f1 = CnfFormula()
+    xs1 = [f1.new_var() for _ in range(n)]
+    at_most_one_pairwise(f1, xs1)
+
+    f2 = CnfFormula()
+    xs2 = [f2.new_var() for _ in range(n)]
+    at_most_one_sequential(f2, xs2)
+
+    assert sorted(all_models(f1, xs1)) == sorted(all_models(f2, xs2))
+
+
+@pytest.mark.parametrize(
+    "encoding", [ExactlyOneEncoding.PAIRWISE, ExactlyOneEncoding.SEQUENTIAL]
+)
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+def test_implies_exactly_one_guarded(encoding, n):
+    """Under the antecedent, exactly one target; without it, anything."""
+    f = CnfFormula()
+    guard = f.new_var()
+    xs = [f.new_var() for _ in range(n)]
+    implies_exactly_one(f, guard, xs, encoding)
+
+    # guard true -> exactly-one models only.
+    true_models = [
+        bits
+        for bits in all_models_with_guard(f, guard, xs, guard_value=True)
+    ]
+    assert sorted(true_models) == sorted(
+        tuple(i == j for j in range(n)) for i in range(n)
+    )
+
+    # guard false -> all 2^n combinations allowed.
+    false_models = all_models_with_guard(f, guard, xs, guard_value=False)
+    assert len(false_models) == 2 ** n
+
+
+def all_models_with_guard(formula, guard, xs, guard_value):
+    models = []
+    for bits in itertools.product([False, True], repeat=len(xs)):
+        assumptions = [guard if guard_value else -guard]
+        assumptions += [v if bit else -v for v, bit in zip(xs, bits)]
+        solver = CdclSolver(formula.copy())
+        if solver.solve(assumptions):
+            models.append(bits)
+    return models
+
+
+def test_sequential_uses_fewer_clauses_at_scale():
+    n = 40
+    f1 = CnfFormula()
+    xs1 = [f1.new_var() for _ in range(n)]
+    exactly_one(f1, xs1, ExactlyOneEncoding.PAIRWISE)
+
+    f2 = CnfFormula()
+    xs2 = [f2.new_var() for _ in range(n)]
+    exactly_one(f2, xs2, ExactlyOneEncoding.SEQUENTIAL)
+
+    assert f1.num_clauses > f2.num_clauses
+    assert f2.num_vars > n  # auxiliary register variables
+
+
+def test_singleton_exactly_one_is_a_fact():
+    f = CnfFormula()
+    x = f.new_var()
+    exactly_one(f, [x])
+    solver = CdclSolver(f)
+    assert solver.solve()
+    assert solver.model()[x] is True

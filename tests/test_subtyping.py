@@ -1,0 +1,174 @@
+"""The Figure 4 subtyping rules."""
+
+import pytest
+
+from repro.core import (
+    ConfigPort,
+    HOSTNAME,
+    INT,
+    Lit,
+    OutputPort,
+    Port,
+    PortMapping,
+    RecordType,
+    ResourceTypeRegistry,
+    STRING,
+    TCP_PORT,
+    as_key,
+    define,
+)
+from repro.core.subtyping import (
+    config_port_subtype,
+    input_port_subtype,
+    nominal_subtype,
+    output_port_subtype,
+    port_mapping_subtype,
+    structural_subtype,
+)
+
+
+class TestPortRules:
+    def test_input_contravariant(self):
+        # A sub-resource may accept a *more general* input.
+        general = Port("p", INT)
+        specific = Port("p", TCP_PORT)
+        assert input_port_subtype(general, specific)
+        assert not input_port_subtype(specific, general)
+
+    def test_config_covariant(self):
+        specific = ConfigPort(Port("p", TCP_PORT), Lit(80))
+        general = ConfigPort(Port("p", INT), Lit(80))
+        assert config_port_subtype(specific, general)
+        assert not config_port_subtype(general, specific)
+
+    def test_output_covariant(self):
+        specific = OutputPort(Port("p", TCP_PORT), Lit(80))
+        general = OutputPort(Port("p", INT), Lit(80))
+        assert output_port_subtype(specific, general)
+        assert not output_port_subtype(general, specific)
+
+    def test_names_must_match(self):
+        a = Port("a", STRING)
+        b = Port("b", STRING)
+        assert not input_port_subtype(a, b)
+
+
+class TestPortMappingRule:
+    def test_superset_is_subtype(self):
+        small = PortMapping.of(x="in_x")
+        large = PortMapping.of(x="in_x", y="in_y")
+        assert port_mapping_subtype(large, small)
+        assert not port_mapping_subtype(small, large)
+
+    def test_reflexive(self):
+        m = PortMapping.of(a="b")
+        assert port_mapping_subtype(m, m)
+
+
+@pytest.fixture
+def world():
+    registry = ResourceTypeRegistry()
+    registry.register(define("Machine", abstract=True).build())
+    registry.register(define("Linux", "1", extends="Machine").build())
+    return registry
+
+
+class TestNominal:
+    def test_reflexive(self, world):
+        assert nominal_subtype(world, as_key("Linux 1"), as_key("Linux 1"))
+
+    def test_declared_edge(self, world):
+        assert nominal_subtype(world, as_key("Linux 1"), as_key("Machine"))
+        assert not nominal_subtype(world, as_key("Machine"), as_key("Linux 1"))
+
+    def test_transitive_chain(self, world):
+        world.register(define("Ubuntu", "10", extends="Linux 1").build())
+        assert nominal_subtype(world, as_key("Ubuntu 10"), as_key("Machine"))
+
+    def test_unrelated(self, world):
+        world.register(define("Other", abstract=True).build())
+        assert not nominal_subtype(world, as_key("Linux 1"), as_key("Other"))
+
+
+class TestStructural:
+    def test_wider_ports_are_subtype(self, world):
+        base = (
+            define("Base", abstract=True)
+            .inside("Machine")
+            .config("a", STRING, "x")
+            .output("o", STRING, "y")
+            .build()
+        )
+        world.register(base)
+        sub = (
+            define("Sub", "1", extends="Base")
+            .config("b", INT, 1)
+            .output("o2", STRING, "z")
+            .build()
+        )
+        world.register(sub)  # registration itself runs the structural check
+        assert structural_subtype(
+            world, world.effective(sub.key), world.effective(base.key)
+        )
+
+    def test_incompatible_override_rejected(self, world):
+        world.register(
+            define("Base2", abstract=True)
+            .inside("Machine")
+            .config("port", TCP_PORT, 80)
+            .build()
+        )
+        from repro.core.errors import SubtypingError
+
+        with pytest.raises(SubtypingError):
+            world.register(
+                define("Bad", "1", extends="Base2")
+                .config("port", STRING, "eighty")  # not a subtype of tcp_port
+                .build()
+            )
+
+    def test_missing_inside_not_subtype(self, world):
+        base = define("WithInside", abstract=True).inside("Machine").build()
+        world.register(base)
+        standalone = define("NoInside", "1").build()
+        assert not structural_subtype(
+            world, standalone, world.effective(base.key)
+        )
+
+    def test_extra_dependency_still_subtype(self, world):
+        world.register(
+            define("Svc", abstract=True).inside("Machine").build()
+        )
+        base = define("App", abstract=True).inside("Machine").build()
+        world.register(base)
+        sub = (
+            define("AppPlus", "1", extends="App")
+            .env("Svc")
+            .build()
+        )
+        world.register(sub)
+        assert structural_subtype(
+            world, world.effective(sub.key), world.effective(base.key)
+        )
+
+    def test_record_output_depth(self, world):
+        base = (
+            define("R", abstract=True)
+            .inside("Machine")
+            .output("rec", RecordType.of(host=STRING), Lit({"host": "h"}))
+            .build()
+        )
+        world.register(base)
+        sub = (
+            define("RSub", "1", extends="R")
+            .output(
+                "rec",
+                RecordType.of(host=HOSTNAME),  # hostname <: string
+                Lit({"host": "h"}),
+            )
+            .build()
+        )
+        world.register(sub)
+        assert structural_subtype(
+            world, world.effective(sub.key), world.effective(base.key)
+        )

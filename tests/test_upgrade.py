@@ -1,0 +1,134 @@
+"""Upgrades: diffing, the backup/replace protocol, rollback (S6.2)."""
+
+import pytest
+
+from repro.core import PartialInstallSpec, PartialInstance, as_key
+from repro.config import ConfigurationEngine
+from repro.django import (
+    SimDatabase,
+    fa_broken_snapshot,
+    fa_snapshots,
+    package_application,
+)
+from repro.runtime import (
+    DeploymentEngine,
+    UpgradeEngine,
+    diff_specs,
+    provision_partial_spec,
+)
+
+
+@pytest.fixture
+def world(registry, infrastructure, drivers):
+    """FA v1 deployed on one production node, with a row in the db."""
+    fa_v1, fa_v2 = fa_snapshots()
+    key_v1 = package_application(fa_v1, registry, infrastructure)
+    key_v2 = package_application(fa_v2, registry, infrastructure)
+    config_engine = ConfigurationEngine(registry)
+    deploy_engine = DeploymentEngine(registry, infrastructure, drivers)
+
+    def partial_for(key):
+        return provision_partial_spec(
+            registry,
+            PartialInstallSpec(
+                [
+                    PartialInstance("node", as_key("Ubuntu-Linux 10.04"),
+                                    config={"hostname": "prod"}),
+                    PartialInstance("app", key, inside_id="node"),
+                    PartialInstance("web", as_key("Gunicorn 0.13"),
+                                    inside_id="node"),
+                    PartialInstance("db", as_key("MySQL 5.1"),
+                                    inside_id="node"),
+                ]
+            ),
+            infrastructure,
+        )
+
+    system = deploy_engine.deploy(
+        config_engine.configure(partial_for(key_v1)).spec
+    )
+    machine = infrastructure.network.machine("prod")
+    database = SimDatabase(machine.fs, "/var/lib/mysql/app.json")
+    database.insert("applicants", {"id": 1, "name": "Ada", "area": "PL"})
+    return {
+        "system": system,
+        "database": database,
+        "partial_for": partial_for,
+        "key_v2": key_v2,
+        "upgrader": UpgradeEngine(config_engine, deploy_engine),
+        "registry": registry,
+        "infrastructure": infrastructure,
+    }
+
+
+class TestDiff:
+    def test_categories(self, world):
+        config_engine = ConfigurationEngine(world["registry"])
+        old = world["system"].spec
+        new = config_engine.configure(
+            world["partial_for"](world["key_v2"])
+        ).spec
+        diff = diff_specs(old, new)
+        assert "app" in diff.upgraded  # FA 1.0 -> FA 2.0
+        assert "db" in diff.unchanged
+        # v2 adds a pip package dependency.
+        assert any("reportlab" in i for i in diff.added)
+
+    def test_identical_specs(self, world):
+        diff = diff_specs(world["system"].spec, world["system"].spec)
+        assert not diff.added and not diff.removed and not diff.upgraded
+
+
+class TestSuccessfulUpgrade:
+    def test_schema_migrated_and_data_preserved(self, world):
+        result = world["upgrader"].upgrade(
+            world["system"], world["partial_for"](world["key_v2"])
+        )
+        assert result.succeeded
+        assert not result.rolled_back
+        database = world["database"]
+        assert "decision" in database.columns("applicants")
+        rows = database.rows("applicants")
+        assert rows[0]["name"] == "Ada"
+        assert rows[0]["decision"] == "pending"  # backfilled default
+
+    def test_new_system_active(self, world):
+        result = world["upgrader"].upgrade(
+            world["system"], world["partial_for"](world["key_v2"])
+        )
+        assert result.system.is_deployed()
+        assert result.system.spec["app"].key == world["key_v2"]
+
+
+class TestFailedUpgradeRollsBack:
+    @pytest.fixture
+    def broken_key(self, world):
+        return package_application(
+            fa_broken_snapshot(), world["registry"], world["infrastructure"]
+        )
+
+    def test_rollback_reported(self, world, broken_key):
+        result = world["upgrader"].upgrade(
+            world["system"], world["partial_for"](broken_key)
+        )
+        assert not result.succeeded
+        assert result.rolled_back
+        assert "migration failed" in result.error
+
+    def test_old_version_restored_and_running(self, world, broken_key):
+        result = world["upgrader"].upgrade(
+            world["system"], world["partial_for"](broken_key)
+        )
+        assert result.system.is_deployed()
+        assert str(result.system.spec["app"].key.version) == "1.0"
+
+    def test_data_survives_rollback(self, world, broken_key):
+        world["upgrader"].upgrade(
+            world["system"], world["partial_for"](broken_key)
+        )
+        assert world["database"].rows("applicants")[0]["name"] == "Ada"
+        # The broken migration's partial work is gone with the restore.
+        assert "0003_broken" not in [
+            r["name"]
+            for r in world["database"].rows("_applied_migrations")
+        ]

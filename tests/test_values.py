@@ -1,0 +1,147 @@
+"""Port-value expressions and their evaluation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    Format,
+    Lit,
+    ListExpr,
+    PortEnv,
+    RecordExpr,
+    Ref,
+    Space,
+    config_ref,
+    input_ref,
+    is_constant,
+)
+from repro.core.errors import PortError
+
+
+def env(**kwargs):
+    inputs = kwargs.get("inputs", {})
+    configs = kwargs.get("configs", {})
+    return PortEnv(inputs=inputs, configs=configs)
+
+
+class TestLit:
+    def test_evaluate(self):
+        assert Lit(42).evaluate(env()) == 42
+        assert Lit("x").evaluate(env()) == "x"
+
+    def test_no_references(self):
+        assert Lit(1).references() == set()
+        assert is_constant(Lit(1))
+
+
+class TestRef:
+    def test_input_lookup(self):
+        e = env(inputs={"host": "h1"})
+        assert input_ref("host").evaluate(e) == "h1"
+
+    def test_config_lookup(self):
+        e = env(configs={"port": 80})
+        assert config_ref("port").evaluate(e) == 80
+
+    def test_path_drilling(self):
+        e = env(inputs={"db": {"conn": {"host": "h"}}})
+        assert input_ref("db", "conn", "host").evaluate(e) == "h"
+
+    def test_unbound_port(self):
+        with pytest.raises(PortError):
+            input_ref("missing").evaluate(env())
+
+    def test_bad_path_step(self):
+        e = env(inputs={"db": {"host": "h"}})
+        with pytest.raises(PortError):
+            input_ref("db", "port").evaluate(e)
+
+    def test_path_into_scalar(self):
+        e = env(inputs={"x": 5})
+        with pytest.raises(PortError):
+            input_ref("x", "field").evaluate(e)
+
+    def test_references(self):
+        assert input_ref("a", "b").references() == {(Space.INPUT, "a")}
+        assert config_ref("c").references() == {(Space.CONFIG, "c")}
+
+    def test_str(self):
+        assert str(input_ref("db", "host")) == "input.db.host"
+
+
+class TestRecordExpr:
+    def test_evaluate(self):
+        expr = RecordExpr.of(a=Lit(1), b=config_ref("x"))
+        assert expr.evaluate(env(configs={"x": 2})) == {"a": 1, "b": 2}
+
+    def test_references_union(self):
+        expr = RecordExpr.of(a=input_ref("i"), b=config_ref("c"))
+        assert expr.references() == {(Space.INPUT, "i"), (Space.CONFIG, "c")}
+
+    def test_of_sorts_fields(self):
+        expr = RecordExpr.of(b=Lit(2), a=Lit(1))
+        assert [name for name, _ in expr.fields] == ["a", "b"]
+
+
+class TestListExpr:
+    def test_evaluate(self):
+        expr = ListExpr((Lit(1), config_ref("x")))
+        assert expr.evaluate(env(configs={"x": 2})) == [1, 2]
+
+    def test_empty(self):
+        assert ListExpr(()).evaluate(env()) == []
+        assert is_constant(ListExpr(()))
+
+
+class TestFormat:
+    def test_evaluate(self):
+        expr = Format.of(
+            "http://{h}:{p}/", h=input_ref("host"), p=config_ref("port")
+        )
+        e = env(inputs={"host": "web"}, configs={"port": 80})
+        assert expr.evaluate(e) == "http://web:80/"
+
+    def test_missing_placeholder_argument(self):
+        expr = Format.of("{a}{b}", a=Lit(1))
+        with pytest.raises(PortError):
+            expr.evaluate(env())
+
+    def test_extra_arguments_allowed(self):
+        expr = Format.of("{a}", a=Lit(1), b=Lit(2))
+        assert expr.evaluate(env()) == "1"
+
+    def test_references(self):
+        expr = Format.of("{x}", x=input_ref("i"))
+        assert expr.references() == {(Space.INPUT, "i")}
+
+
+class TestPortEnv:
+    def test_bind_then_lookup(self):
+        e = PortEnv()
+        e.bind(Space.INPUT, "a", 1)
+        assert e.lookup(Space.INPUT, "a") == 1
+
+    def test_spaces_are_disjoint(self):
+        e = PortEnv(inputs={"x": 1}, configs={"x": 2})
+        assert e.lookup(Space.INPUT, "x") == 1
+        assert e.lookup(Space.CONFIG, "x") == 2
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c"]),
+        st.integers(),
+        min_size=1,
+        max_size=3,
+    )
+)
+def test_record_of_refs_evaluates_to_env(values):
+    expr = RecordExpr.of(**{k: config_ref(k) for k in values})
+    assert expr.evaluate(PortEnv(configs=values)) == values
+
+
+@given(st.text(alphabet="ab{}", max_size=10))
+def test_format_never_crashes_unexpectedly(template):
+    expr = Format.of(template.replace("{", "{{").replace("}", "}}"))
+    assert isinstance(expr.evaluate(PortEnv()), str)

@@ -1,0 +1,379 @@
+"""Well-formedness of resource-type sets (the S3.1 conditions)."""
+
+import pytest
+
+from repro.core import (
+    Dependency,
+    DependencyAlternative,
+    DependencyKind,
+    PortMapping,
+    ResourceTypeRegistry,
+    STRING,
+    TCP_PORT,
+    as_key,
+    check_registry,
+    define,
+)
+from repro.core.errors import WellFormednessError
+from repro.core.wellformed import assert_well_formed
+
+
+def reg_with(*types):
+    return ResourceTypeRegistry(types)
+
+
+def problems_of(*types):
+    return check_registry(reg_with(*types))
+
+
+MACHINE = define("M", "1").build()
+
+
+class TestCondition1Pending:
+    def test_unregistered_dependency_reported(self):
+        t = define("X", "1").inside("Nowhere 9").build()
+        problems = problems_of(t)
+        assert any("unregistered" in p for p in problems)
+
+    def test_registered_dependency_clean(self):
+        t = define("X", "1").inside("M 1").build()
+        assert problems_of(MACHINE, t) == []
+
+
+class TestCondition2Machines:
+    def test_machine_with_inputs_reported(self):
+        from repro.core.resource_type import ResourceType
+        from repro.core.ports import Port
+
+        bad = ResourceType(
+            key=as_key("BadMachine 1"),
+            input_ports=(Port("x", STRING),),
+        )
+        problems = problems_of(bad)
+        assert any("machine" in p for p in problems)
+
+
+class TestCondition3Mapping:
+    def test_unmapped_input_reported(self):
+        t = define("X", "1").inside("M 1").input("lonely", STRING).build()
+        problems = problems_of(MACHINE, t)
+        assert any("never mapped" in p for p in problems)
+
+    def test_doubly_mapped_input_reported(self):
+        provider = (
+            define("P", "1").inside("M 1").output("o", STRING, "v").build()
+        )
+        t = (
+            define("X", "1")
+            .inside("M 1")
+            .env("P 1", o="val")
+            .peer("P 1", o="val")
+            .input("val", STRING)
+            .build()
+        )
+        problems = problems_of(MACHINE, provider, t)
+        assert any("mapped 2 times" in p for p in problems)
+
+    def test_mapping_unknown_input_reported(self):
+        provider = (
+            define("P", "1").inside("M 1").output("o", STRING, "v").build()
+        )
+        t = define("X", "1").inside("M 1").env("P 1", o="ghost").build()
+        problems = problems_of(MACHINE, provider, t)
+        assert any("unknown" in p and "ghost" in p for p in problems)
+
+    def test_mapping_missing_provider_output_reported(self):
+        provider = define("P", "1").inside("M 1").build()
+        t = (
+            define("X", "1")
+            .inside("M 1")
+            .env("P 1", ghost_output="val")
+            .input("val", STRING)
+            .build()
+        )
+        problems = problems_of(MACHINE, provider, t)
+        assert any("does not declare" in p for p in problems)
+
+    def test_type_mismatch_reported(self):
+        provider = (
+            define("P", "1").inside("M 1").output("o", STRING, "v").build()
+        )
+        t = (
+            define("X", "1")
+            .inside("M 1")
+            .env("P 1", o="val")
+            .input("val", TCP_PORT)  # string does not fit tcp_port
+            .build()
+        )
+        problems = problems_of(MACHINE, provider, t)
+        assert any("does not fit" in p for p in problems)
+
+    def test_subtype_output_fits_wider_input(self):
+        from repro.core import HOSTNAME
+
+        provider = (
+            define("P", "1").inside("M 1").output("o", HOSTNAME, "h").build()
+        )
+        t = (
+            define("X", "1")
+            .inside("M 1")
+            .env("P 1", o="val")
+            .input("val", STRING)  # hostname <: string
+            .build()
+        )
+        assert problems_of(MACHINE, provider, t) == []
+
+    def test_abstract_type_may_leave_inputs_unmapped(self):
+        t = (
+            define("Abs", abstract=True)
+            .inside("M 1")
+            .input("later", STRING)
+            .build()
+        )
+        assert problems_of(MACHINE, t) == []
+
+
+class TestCondition4Acyclicity:
+    def test_peer_cycle_reported(self):
+        a = define("A", "1").inside("M 1").peer("B 1").build()
+        b = define("B", "1").inside("M 1").peer("A 1").build()
+        problems = problems_of(MACHINE, a, b)
+        assert any("cycle" in p for p in problems)
+
+    def test_self_cycle_reported(self):
+        a = define("Selfish", "1").inside("M 1").peer("Selfish 1").build()
+        problems = problems_of(MACHINE, a)
+        assert any("cycle" in p for p in problems)
+
+    def test_diamond_is_fine(self):
+        base = define("Base", "1").inside("M 1").build()
+        left = define("L", "1").inside("M 1").env("Base 1").build()
+        right = define("R", "1").inside("M 1").env("Base 1").build()
+        top = define("T", "1").inside("M 1").env("L 1").env("R 1").build()
+        assert problems_of(MACHINE, base, left, right, top) == []
+
+
+class TestStaticPorts:
+    def test_static_output_reading_dynamic_config_reported(self):
+        from repro.core import config_ref
+
+        t = (
+            define("X", "1")
+            .inside("M 1")
+            .config("dyn", STRING, "v")
+            .output("statout", STRING, config_ref("dyn"), static=True)
+            .build()
+        )
+        problems = problems_of(MACHINE, t)
+        assert any("static output" in p for p in problems)
+
+    def test_static_output_of_static_config_ok(self):
+        from repro.core import config_ref
+
+        t = (
+            define("X", "1")
+            .inside("M 1")
+            .config("stat", STRING, "v", static=True)
+            .output("statout", STRING, config_ref("stat"), static=True)
+            .build()
+        )
+        assert problems_of(MACHINE, t) == []
+
+
+class TestReverseTargets:
+    def test_reverse_filled_input_exempt(self):
+        container = (
+            define("Container", "1")
+            .inside("M 1")
+            .input("extra", STRING)  # only fillable in reverse
+            .output("c", STRING, "x")
+            .build()
+        )
+        servlet_dep = Dependency(
+            DependencyKind.INSIDE,
+            (
+                DependencyAlternative(
+                    as_key("Container 1"),
+                    PortMapping.of(c="c_in"),
+                    PortMapping.of(push="extra"),
+                ),
+            ),
+        )
+        servlet = (
+            define("Servlet", "1")
+            .inside_dep(servlet_dep)
+            .input("c_in", STRING)
+            .output("push", STRING, "payload", static=True)
+            .build()
+        )
+        assert problems_of(MACHINE, container, servlet) == []
+
+    def test_reverse_mapping_from_dynamic_output_reported(self):
+        container = (
+            define("Container2", "1")
+            .inside("M 1")
+            .input("extra", STRING)
+            .output("c", STRING, "x")
+            .build()
+        )
+        dep = Dependency(
+            DependencyKind.INSIDE,
+            (
+                DependencyAlternative(
+                    as_key("Container2 1"),
+                    PortMapping.of(c="c_in"),
+                    PortMapping.of(push="extra"),
+                ),
+            ),
+        )
+        servlet = (
+            define("Servlet2", "1")
+            .inside_dep(dep)
+            .input("c_in", STRING)
+            .output("push", STRING, "payload")  # dynamic!
+            .build()
+        )
+        problems = problems_of(MACHINE, container, servlet)
+        assert any("static output port" in p for p in problems)
+
+
+class TestExpressionTyping:
+    """Static type checking of port-value expressions."""
+
+    def test_constant_must_inhabit_type(self):
+        t = (
+            define("X", "1").inside("M 1")
+            .config("port", TCP_PORT, "eighty")
+            .build()
+        )
+        problems = problems_of(MACHINE, t)
+        assert any("does not inhabit declared type" in p for p in problems)
+
+    def test_unset_default_allowed(self):
+        t = define("X", "1").inside("M 1").config("port", TCP_PORT).build()
+        assert problems_of(MACHINE, t) == []
+
+    def test_record_expression_fields_checked(self):
+        from repro.core import RecordExpr, RecordType, Lit
+
+        record = RecordType.of(host=STRING, port=TCP_PORT)
+        t = (
+            define("X", "1").inside("M 1")
+            .output("o", record,
+                    RecordExpr.of(host=Lit("h"), prot=Lit(80)))
+            .build()
+        )
+        problems = problems_of(MACHINE, t)
+        assert any("misses fields ['port']" in p for p in problems)
+        assert any("undeclared fields ['prot']" in p for p in problems)
+
+    def test_ref_path_into_scalar_reported(self):
+        from repro.core import config_ref
+
+        t = (
+            define("X", "1").inside("M 1")
+            .config("port", TCP_PORT, 80)
+            .output("o", STRING, config_ref("port", "value"))
+            .build()
+        )
+        problems = problems_of(MACHINE, t)
+        assert any("drills into field" in p for p in problems)
+
+    def test_ref_unknown_record_field_reported(self):
+        from repro.core import Lit, RecordType, input_ref
+
+        machine = (
+            define("M2", "1")
+            .output("rec", RecordType.of(host=STRING), Lit({"host": "h"}))
+            .build()
+        )
+        from repro.core import ResourceTypeRegistry, check_registry
+
+        t = (
+            define("X2", "1").inside("M2 1", rec="rec")
+            .input("rec", RecordType.of(host=STRING))
+            .output("o", STRING, input_ref("rec", "prot"))
+            .build()
+        )
+        problems = check_registry(ResourceTypeRegistry([machine, t]))
+        assert any("unknown field 'prot'" in p for p in problems)
+
+    def test_ref_type_mismatch_reported(self):
+        from repro.core import config_ref
+
+        t = (
+            define("X", "1").inside("M 1")
+            .config("name", STRING, "x")
+            .output("o", TCP_PORT, config_ref("name"))
+            .build()
+        )
+        problems = problems_of(MACHINE, t)
+        assert any("does not fit declared type" in p for p in problems)
+
+    def test_format_requires_stringlike(self):
+        from repro.core import Format, Lit
+
+        t = (
+            define("X", "1").inside("M 1")
+            .output("o", TCP_PORT, Format.of("{x}", x=Lit(1)))
+            .build()
+        )
+        problems = problems_of(MACHINE, t)
+        assert any("produces a string" in p for p in problems)
+
+    def test_list_elements_checked(self):
+        from repro.core import ListExpr, ListType, Lit
+
+        t = (
+            define("X", "1").inside("M 1")
+            .config("xs", ListType(TCP_PORT),
+                    ListExpr((Lit(80), Lit("http"))))
+            .build()
+        )
+        problems = problems_of(MACHINE, t)
+        assert any("[1]" in p and "does not inhabit" in p for p in problems)
+
+    def test_concrete_unassigned_output_reported(self):
+        t = define("X", "1").inside("M 1").output("o", STRING).build()
+        problems = problems_of(MACHINE, t)
+        assert any("never assigned a value" in p for p in problems)
+
+    def test_abstract_unassigned_output_allowed(self):
+        t = (
+            define("Abs", abstract=True)
+            .inside("M 1")
+            .output("o", STRING)
+            .build()
+        )
+        assert problems_of(MACHINE, t) == []
+
+    def test_valid_drilling_accepted(self):
+        from repro.core import HOSTNAME, RecordType, RecordExpr, Lit, input_ref
+
+        machine = (
+            define("M3", "1")
+            .output("host", RecordType.of(hostname=HOSTNAME),
+                    Lit({"hostname": "h"}))
+            .build()
+        )
+        t = (
+            define("X3", "1").inside("M3 1", host="host")
+            .input("host", RecordType.of(hostname=HOSTNAME))
+            .output("o", STRING, input_ref("host", "hostname"))
+            .build()
+        )
+        from repro.core import ResourceTypeRegistry, check_registry
+
+        assert check_registry(ResourceTypeRegistry([machine, t])) == []
+
+
+class TestAssertWellFormed:
+    def test_raises_with_all_problems(self):
+        t = define("X", "1").inside("Missing 1").input("u", STRING).build()
+        with pytest.raises(WellFormednessError) as excinfo:
+            assert_well_formed(reg_with(t))
+        message = str(excinfo.value)
+        assert "unregistered" in message
+
+    def test_clean_passes(self, registry):
+        assert_well_formed(registry)  # the standard library is well-formed
