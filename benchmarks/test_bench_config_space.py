@@ -14,8 +14,11 @@ import itertools
 
 import pytest
 
-from repro.config import ConfigurationEngine
+import time
+
+from repro.config import ConfigurationEngine, ConfigurationSession
 from repro.core import PartialInstallSpec, PartialInstance, as_key
+from repro.dsl import full_to_json
 from repro.django import package_application, table1_apps
 from repro.library import standard_infrastructure, standard_registry
 
@@ -114,6 +117,63 @@ def test_e7_single_configuration_latency(benchmark, registry, infrastructure):
     )
     result = benchmark(engine.configure, partial)
     assert "app" in result.spec
+
+
+def test_e7_session_warm_sweep_vs_cold(benchmark, registry, infrastructure):
+    """The incremental-session speedup on the 256-configuration sweep.
+
+    Cold baseline: a fresh per-call :class:`ConfigurationEngine`
+    pipeline for every configuration.  Warm: the same 256 queries
+    through a primed :class:`ConfigurationSession`.  The acceptance bar
+    is warm <= cold / 3, with identical output and cache counters
+    proving that graphs, encodings, and solver state were reused.
+    """
+    app = next(a for a in table1_apps() if a.name == "Areneae")
+    app_key = package_application(app, registry, infrastructure)
+    partials = [
+        partial_for(app_key, *config) for config in all_configurations()
+    ]
+    engine = ConfigurationEngine(registry, verify_registry=False)
+
+    started = time.perf_counter()
+    cold_specs = [full_to_json(engine.configure(p).spec) for p in partials]
+    cold_ids = [engine.configure(p).deployed_ids for p in partials]
+    cold_seconds = (time.perf_counter() - started) / 2  # two cold sweeps
+
+    session = ConfigurationSession(registry, verify_registry=False)
+    for partial in partials:
+        session.configure(partial)  # prime every cache
+
+    def warm_sweep():
+        return [session.configure(partial) for partial in partials]
+
+    results = benchmark.pedantic(warm_sweep, rounds=3, iterations=1)
+    warm_seconds = benchmark.stats.stats.mean
+
+    # Bit-identical to the cold per-call pipeline.
+    for result, spec_json, ids in zip(results, cold_specs, cold_ids):
+        assert full_to_json(result.spec) == spec_json
+        assert result.deployed_ids == ids
+
+    # The counters prove reuse: every benchmarked call hit every cache.
+    stats = session.stats
+    assert stats.graph_misses == 256
+    assert stats.graph_hits == stats.configure_calls - 256
+    assert stats.solver_reuses == stats.configure_calls - 256
+    assert all(r.cache.graph_hit for r in results)
+    assert all(r.cache.solver_reused for r in results)
+    assert all(r.solver_stats.solve_calls >= 2 for r in results)
+
+    benchmark.extra_info.update(
+        {
+            "configurations": len(partials),
+            "cold_engine_seconds": round(cold_seconds, 3),
+            "warm_session_seconds": round(warm_seconds, 3),
+            "warm_over_cold": round(warm_seconds / cold_seconds, 3),
+            "graph_hit_rate": round(stats.hit_rate, 3),
+        }
+    )
+    assert warm_seconds <= cold_seconds / 3
 
 
 def test_e10_resource_census(benchmark):

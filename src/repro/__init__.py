@@ -49,7 +49,12 @@ from repro.core import (
     check_registry,
     define,
 )
-from repro.config import ConfigurationEngine, ConfigurationResult, check_spec
+from repro.config import (
+    ConfigurationEngine,
+    ConfigurationResult,
+    ConfigurationSession,
+    check_spec,
+)
 from repro.dsl import (
     format_module,
     full_to_json,
@@ -79,6 +84,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ConfigurationEngine",
+    "ConfigurationSession",
     "ConfigurationResult",
     "DeployedSystem",
     "DeploymentEngine",

@@ -24,6 +24,7 @@ from repro.core import ResourceTypeRegistry, check_registry
 from repro.core.errors import EngageError
 from repro.config import (
     ConfigurationEngine,
+    ConfigurationSession,
     explain_message,
     generate_graph,
 )
@@ -73,9 +74,57 @@ def cmd_check(args, out: TextIO) -> int:
 
 def cmd_configure(args, out: TextIO) -> int:
     registry = _build_registry(args)
-    partial = _read_partial(args.partial)
-    engine = ConfigurationEngine(registry, verify_registry=not args.no_verify)
-    result = engine.configure(partial)
+    paths = args.partial
+    if not args.session:
+        if len(paths) > 1 or args.repeat != 1:
+            out.write(
+                "error: multiple partial specs / --repeat require --session\n"
+            )
+            return 2
+        partial = _read_partial(paths[0])
+        engine = ConfigurationEngine(
+            registry, verify_registry=not args.no_verify
+        )
+        return _write_full_spec(engine.configure(partial), args, out)
+    if args.output and len(paths) > 1:
+        out.write("error: --output only works with a single partial spec\n")
+        return 2
+    partials = [_read_partial(path) for path in paths]
+    session = ConfigurationSession(
+        registry, verify_registry=not args.no_verify
+    )
+    result = None
+    for round_number in range(args.repeat):
+        for path, partial in zip(paths, partials):
+            result = session.configure(partial)
+            cache = result.cache
+            flags = ", ".join(
+                name
+                for name, on in (
+                    ("graph-hit", cache.graph_hit),
+                    ("cnf-hit", cache.cnf_hit),
+                    ("solver-reused", cache.solver_reused),
+                    ("spec-reused", cache.typecheck_skipped),
+                )
+                if on
+            ) or "cold"
+            out.write(
+                f"[{round_number + 1}] {path}: {len(result.spec)} instances "
+                f"in {result.timings.total_ms:.2f} ms ({flags})\n"
+            )
+    stats = session.stats
+    out.write(
+        f"session: {stats.configure_calls} calls, "
+        f"{stats.graph_hits} graph hits / {stats.graph_misses} misses, "
+        f"{stats.solver_reuses} solver reuses, "
+        f"{stats.typecheck_skips} spec reuses\n"
+    )
+    if args.output and result is not None:
+        return _write_full_spec(result, args, out)
+    return 0
+
+
+def _write_full_spec(result, args, out: TextIO) -> int:
     text = full_to_json(result.spec)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -389,9 +438,22 @@ def build_parser() -> argparse.ArgumentParser:
     configure = sub.add_parser(
         "configure", help="expand a partial spec to a full spec"
     )
-    common(configure)
+    common(configure, with_partial=False)
+    configure.add_argument(
+        "partial", metavar="PARTIAL_SPEC.json", nargs="+",
+        help="partial installation specification(s) (Figure 2 JSON)",
+    )
     configure.add_argument(
         "-o", "--output", metavar="FILE", help="write the full spec here"
+    )
+    configure.add_argument(
+        "--session", action="store_true",
+        help="run through an incremental ConfigurationSession and report "
+        "per-call timing and cache hits",
+    )
+    configure.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="with --session: configure each partial spec N times",
     )
 
     graph = sub.add_parser("graph", help="print the dependency hypergraph")

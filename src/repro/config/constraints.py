@@ -40,8 +40,20 @@ class ConstraintStats:
 def generate_constraints(
     graph: ResourceGraph,
     encoding: ExactlyOneEncoding = ExactlyOneEncoding.PAIRWISE,
+    *,
+    facts_as_assumptions: bool = False,
 ) -> tuple[CnfFormula, ConstraintStats]:
-    """Build ``Generate(R, I)`` as a CNF formula over node-id variables."""
+    """Build ``Generate(R, I)`` as a CNF formula over node-id variables.
+
+    With ``facts_as_assumptions`` the family-1 unit facts are *omitted*
+    from the clause database; callers pass the corresponding literals to
+    ``solve(assumptions=...)`` instead (see :func:`fact_literals`).  The
+    clause database then encodes only the graph's dependency structure,
+    so it can be kept in a long-lived incremental solver and queried
+    under different pinned-instance sets -- the mechanism behind both
+    unsat-core shrinking (:mod:`repro.config.explain`) and warm
+    configuration sessions (:mod:`repro.config.session`).
+    """
     formula = CnfFormula()
     facts = 0
 
@@ -52,8 +64,9 @@ def generate_constraints(
     # Family 1: partial-spec instances must deploy.
     for node in graph.nodes():
         if node.from_partial:
-            formula.add_fact(formula.var(node.instance_id))
             facts += 1
+            if not facts_as_assumptions:
+                formula.add_fact(formula.var(node.instance_id))
 
     # Family 2: dependency hyperedges.
     for edge in graph.edges():
@@ -71,6 +84,18 @@ def generate_constraints(
         hyperedges=len(graph.edges()),
     )
     return formula, stats
+
+
+def fact_literals(graph: ResourceGraph, formula: CnfFormula) -> dict[str, int]:
+    """The assumption literal asserting ``rsrc(id)`` for every pinned node.
+
+    Companion to ``generate_constraints(..., facts_as_assumptions=True)``.
+    """
+    return {
+        node.instance_id: formula.var(node.instance_id)
+        for node in graph.nodes()
+        if node.from_partial
+    }
 
 
 def selected_nodes(

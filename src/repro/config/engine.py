@@ -5,10 +5,15 @@ hypergraph (``GraphGen``) -> Boolean constraints (``Generate``) -> SAT
 (the CDCL solver) -> port-value propagation -> full installation
 specification.  Theorem 1 justifies raising
 :class:`~repro.core.errors.UnsatisfiableError` when the solver says no.
+
+Every result carries :class:`PhaseTimings` so callers (benchmarks, the
+CLI, :class:`~repro.config.session.ConfigurationSession`) can see where
+a query spent its time without re-instrumenting the pipeline.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -30,6 +35,34 @@ from repro.sat.solver import CdclSolver, DpllSolver, SolverStats
 
 
 @dataclass
+class PhaseTimings:
+    """Wall-clock milliseconds spent in each pipeline phase."""
+
+    graph_ms: float = 0.0
+    encode_ms: float = 0.0
+    solve_ms: float = 0.0
+    propagate_ms: float = 0.0
+
+    @property
+    def total_ms(self) -> float:
+        return (
+            self.graph_ms + self.encode_ms + self.solve_ms
+            + self.propagate_ms
+        )
+
+
+@dataclass
+class SessionCacheInfo:
+    """Per-call cache outcome, populated by ``ConfigurationSession``."""
+
+    fingerprint: str = ""
+    graph_hit: bool = False
+    cnf_hit: bool = False
+    solver_reused: bool = False
+    typecheck_skipped: bool = False
+
+
+@dataclass
 class ConfigurationResult:
     """Everything the engine produced, for inspection and benchmarks."""
 
@@ -40,6 +73,31 @@ class ConfigurationResult:
     constraint_stats: ConstraintStats
     solver_stats: SolverStats
     deployed_ids: set[str] = field(default_factory=set)
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+    #: Cache outcome when the result came from a session; None otherwise.
+    cache: Optional[SessionCacheInfo] = None
+
+
+def raise_unsatisfiable(
+    registry: ResourceTypeRegistry,
+    partial: PartialInstallSpec,
+    graph: ResourceGraph,
+    *,
+    explain: bool,
+) -> None:
+    """Raise the Theorem 1 :class:`UnsatisfiableError`, optionally with a
+    minimal-conflict explanation (shared by engine and session)."""
+    message = (
+        "no full installation specification extends the partial "
+        f"specification (over {len(graph)} candidate instances)"
+    )
+    if explain:
+        from repro.config.explain import explain_unsat
+
+        explanation = explain_unsat(registry, partial)
+        if explanation is not None:
+            message += "\n" + explanation.message(graph)
+    raise UnsatisfiableError(message)
 
 
 class ConfigurationEngine:
@@ -63,6 +121,8 @@ class ConfigurationEngine:
         self._explain_unsat = explain_unsat
         self._peer_policy = peer_policy
         if verify_registry:
+            # Memoized on the registry: many engines over one registry
+            # pay the full well-formedness sweep once.
             assert_well_formed(registry)
 
     @property
@@ -75,28 +135,29 @@ class ConfigurationEngine:
         Raises :class:`UnsatisfiableError` when no extension exists
         (Theorem 1), and surfaces any propagation or typechecking error.
         """
+        timings = PhaseTimings()
+        started = time.perf_counter()
         graph = generate_graph(
             self._registry, partial, peer_policy=self._peer_policy
         )
+        ticked = time.perf_counter()
+        timings.graph_ms = (ticked - started) * 1000.0
         formula, constraint_stats = generate_constraints(graph, self._encoding)
+        started = time.perf_counter()
+        timings.encode_ms = (started - ticked) * 1000.0
 
         engine: CdclSolver | DpllSolver
         if self._solver == "dpll":
             engine = DpllSolver(formula)
         else:
             engine = CdclSolver(formula)
-        if not engine.solve():
-            message = (
-                "no full installation specification extends the partial "
-                f"specification (over {len(graph)} candidate instances)"
+        solved = engine.solve()
+        ticked = time.perf_counter()
+        timings.solve_ms = (ticked - started) * 1000.0
+        if not solved:
+            raise_unsatisfiable(
+                self._registry, partial, graph, explain=self._explain_unsat
             )
-            if self._explain_unsat:
-                from repro.config.explain import explain_unsat
-
-                explanation = explain_unsat(self._registry, partial)
-                if explanation is not None:
-                    message += "\n" + explanation.message(graph)
-            raise UnsatisfiableError(message)
         named_model = {
             str(name): value
             for name, value in formula.decode_model(engine.model()).items()
@@ -105,6 +166,7 @@ class ConfigurationEngine:
         spec = propagate(self._registry, graph, deployed, choices)
         if self._check_types:
             check_spec(self._registry, spec)
+        timings.propagate_ms = (time.perf_counter() - ticked) * 1000.0
         return ConfigurationResult(
             spec=spec,
             graph=graph,
@@ -113,4 +175,5 @@ class ConfigurationEngine:
             constraint_stats=constraint_stats,
             solver_stats=engine.stats,
             deployed_ids=deployed,
+            timings=timings,
         )

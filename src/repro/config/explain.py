@@ -17,10 +17,9 @@ from typing import Optional
 
 from repro.core.instances import PartialInstallSpec
 from repro.core.registry import ResourceTypeRegistry
-from repro.config.constraints import generate_constraints
+from repro.config.constraints import fact_literals, generate_constraints
 from repro.config.hypergraph import ResourceGraph, generate_graph
 from repro.sat.cnf import CnfFormula
-from repro.sat.encodings import ExactlyOneEncoding
 from repro.sat.solver import CdclSolver
 
 
@@ -64,27 +63,8 @@ def _facts_as_assumptions(
 ) -> tuple[CnfFormula, dict[str, int]]:
     """The constraint formula *without* the partial-spec unit facts; the
     facts become assumption literals instead."""
-    formula = CnfFormula()
-    for node in graph.nodes():
-        formula.var(node.instance_id)
-    # Re-emit only the dependency constraints (family 2).
-    from repro.sat.encodings import implies_exactly_one
-
-    for edge in graph.edges():
-        source = formula.var(edge.source_id)
-        targets = [formula.var(t) for t in edge.targets]
-        if len(targets) == 1:
-            formula.add_implies(source, targets[0])
-        else:
-            implies_exactly_one(
-                formula, source, targets, ExactlyOneEncoding.PAIRWISE
-            )
-    fact_literals = {
-        node.instance_id: formula.var(node.instance_id)
-        for node in graph.nodes()
-        if node.from_partial
-    }
-    return formula, fact_literals
+    formula, _stats = generate_constraints(graph, facts_as_assumptions=True)
+    return formula, fact_literals(graph, formula)
 
 
 def explain_unsat(
@@ -97,13 +77,17 @@ def explain_unsat(
     unsatisfiable.  The survivors are a minimal conflicting subset.
     """
     graph = generate_graph(registry, partial)
-    formula, fact_literals = _facts_as_assumptions(graph)
+    formula, facts = _facts_as_assumptions(graph)
+
+    # One incremental solver answers every subset query: the clause
+    # database (and the clauses learned refuting earlier subsets) is
+    # shared, each candidate subset is just a new assumption vector.
+    solver = CdclSolver(formula)
 
     def satisfiable(kept: list[str]) -> bool:
-        solver = CdclSolver(formula.copy())
-        return solver.solve([fact_literals[iid] for iid in kept])
+        return solver.solve([facts[iid] for iid in kept])
 
-    all_ids = sorted(fact_literals)
+    all_ids = sorted(facts)
     if satisfiable(all_ids):
         return None
 

@@ -36,6 +36,15 @@ class ResourceTypeRegistry:
         self._raw: dict[ResourceKey, ResourceType] = {}
         self._effective: dict[ResourceKey, ResourceType] = {}
         self._children: dict[ResourceKey, list[ResourceKey]] = {}
+        #: Monotonic mutation counter; bumped on every registration so
+        #: downstream caches (well-formedness verdicts, configuration
+        #: sessions) can detect staleness cheaply.
+        self._version = 0
+        #: The :attr:`version` at which well-formedness was last verified,
+        #: or None if never verified (or mutated since).
+        self._wellformed_version: Optional[int] = None
+        #: Named derived indexes memoized against :attr:`version`.
+        self._derived: dict[str, tuple[int, object]] = {}
         for resource_type in types:
             self.register(resource_type)
 
@@ -50,6 +59,7 @@ class ResourceTypeRegistry:
                 raise UnknownKeyError(
                     f"{key} extends unknown type {resource_type.extends}"
                 )
+        self._version += 1
         self._raw[key] = resource_type
         self._effective.pop(key, None)
         if resource_type.extends is not None:
@@ -71,6 +81,41 @@ class ResourceTypeRegistry:
                 f"{key} does not structurally subtype {raw.extends} "
                 "(Figure 4 rules)"
             )
+
+    # -- Mutation tracking ----------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: increases whenever a type is registered."""
+        return self._version
+
+    @property
+    def verified_well_formed(self) -> bool:
+        """True when well-formedness was verified and nothing changed since."""
+        return self._wellformed_version == self._version
+
+    def mark_well_formed(self) -> None:
+        """Record that the current contents passed well-formedness checks.
+
+        Called by :func:`repro.core.wellformed.assert_well_formed`; any
+        subsequent :meth:`register` invalidates the verdict.
+        """
+        self._wellformed_version = self._version
+
+    def derived(self, name: str, builder) -> object:
+        """Memoize ``builder(self)`` under ``name`` until the next mutation.
+
+        Used for derived indexes that are expensive to recompute on every
+        query (e.g. the reverse-mapping target set consulted by value
+        propagation); the cached value is dropped automatically when the
+        registry version changes.
+        """
+        hit = self._derived.get(name)
+        if hit is not None and hit[0] == self._version:
+            return hit[1]
+        value = builder(self)
+        self._derived[name] = (self._version, value)
+        return value
 
     # -- Lookup ---------------------------------------------------------
 

@@ -61,7 +61,16 @@ def collect_reverse_targets(
     Such inputs are filled *against* the dependency direction by a static
     output of a dependent (S3.4), so condition 3's "mapped exactly once"
     does not count them against the provider's own dependencies.
+
+    Memoized per registry version: propagation and spec typechecking
+    consult this set on every configuration query.
     """
+    return registry.derived("reverse_targets", _collect_reverse_targets)
+
+
+def _collect_reverse_targets(
+    registry: ResourceTypeRegistry,
+) -> set[tuple[ResourceKey, str]]:
     targets: set[tuple[ResourceKey, str]] = set()
     for key in registry.keys():
         resource_type = registry.effective(key)
@@ -86,13 +95,22 @@ def is_reverse_target(
 
 
 def assert_well_formed(registry: ResourceTypeRegistry) -> None:
-    """Raise :class:`WellFormednessError` listing every problem found."""
+    """Raise :class:`WellFormednessError` listing every problem found.
+
+    The verdict is memoized on the registry itself: once a registry
+    version has verified clean, subsequent calls return immediately
+    until the registry is mutated (callers that construct many engines
+    or sessions against one registry pay the full check once).
+    """
+    if registry.verified_well_formed:
+        return
     problems = check_registry(registry)
     if problems:
         raise WellFormednessError(
             "resource-type set is not well-formed:\n  "
             + "\n  ".join(problems)
         )
+    registry.mark_well_formed()
 
 
 def _check_type(

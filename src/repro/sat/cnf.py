@@ -22,6 +22,7 @@ class CnfFormula:
         self._name_to_var: dict[Hashable, int] = {}
         self._var_to_name: dict[int, Hashable] = {}
         self._num_vars = 0
+        self._normalized = True
 
     # -- Variables ------------------------------------------------------
 
@@ -57,15 +58,31 @@ class CnfFormula:
     def num_clauses(self) -> int:
         return len(self._clauses)
 
+    @property
+    def is_normalized(self) -> bool:
+        """True while every clause added so far is free of duplicate
+        literals and tautologies (no variable appears twice).
+
+        Solvers use this to skip per-clause normalization when ingesting
+        the formula -- the hottest loop of solver construction.
+        """
+        return self._normalized
+
     # -- Clauses --------------------------------------------------------
 
     def add_clause(self, literals: Iterable[int]) -> None:
         clause = tuple(literals)
         if not clause:
             raise ConfigurationError("empty clause added (trivially unsat)")
+        seen_vars = set()
         for literal in clause:
             if literal == 0 or abs(literal) > self._num_vars:
                 raise ConfigurationError(f"literal out of range: {literal}")
+            seen_vars.add(abs(literal))
+        if len(seen_vars) != len(clause):
+            # Duplicate literal or tautology: still legal, but solvers
+            # must normalize this clause themselves.
+            self._normalized = False
         self._clauses.append(clause)
 
     def add_fact(self, literal: int) -> None:
@@ -89,6 +106,7 @@ class CnfFormula:
         clone._name_to_var = dict(self._name_to_var)
         clone._var_to_name = dict(self._var_to_name)
         clone._num_vars = self._num_vars
+        clone._normalized = self._normalized
         return clone
 
     def decode_model(self, model: dict[int, bool]) -> dict[Hashable, bool]:

@@ -13,6 +13,16 @@ learning solver with the standard MiniSat ingredients:
 A plain DPLL solver (:class:`DpllSolver`) is provided as the experiment
 E12 ablation baseline.  Both expose the same interface:
 ``add_clause`` / ``solve(assumptions)`` / ``model()``.
+
+:class:`CdclSolver` is *incremental* in the MiniSat sense: it may be
+kept alive across many ``solve(assumptions=...)`` calls.  Learned
+clauses, VSIDS activities, and saved phases all persist between calls
+(assumptions are fully undone -- they are replayed as pseudo-decisions
+and retracted by the final backjump to level 0), and ``add_clause``
+may be called between solves to narrow the formula without rebuilding
+watches.  Families of near-identical queries -- the configuration
+sweeps of §6.2, unsat-core shrinking -- thus share one clause database
+instead of paying a cold solve each.
 """
 
 from __future__ import annotations
@@ -37,6 +47,10 @@ class SolverStats:
     deleted_clauses: int = 0
     restarts: int = 0
     max_learned_length: int = 0
+    #: Number of :meth:`solve` calls answered by this solver instance --
+    #: values above 1 mean the clause database (and any learned clauses)
+    #: were reused incrementally.
+    solve_calls: int = 0
 
 
 def _luby(i: int) -> int:
@@ -92,8 +106,18 @@ class CdclSolver:
         self.stats = SolverStats()
         if formula is not None:
             self._ensure_vars(formula.num_vars)
-            for clause in formula.clauses():
-                self.add_clause(clause)
+            if formula.is_normalized:
+                # Fast path: the formula guarantees no duplicate literals
+                # and no tautologies, so skip the per-clause
+                # ``sorted(set(...))`` / tautology rebuild and go straight
+                # to level-0 reduction and watch setup.
+                for clause in formula.clauses():
+                    if not self._ok:
+                        break
+                    self._ingest(list(clause))
+            else:
+                for clause in formula.clauses():
+                    self.add_clause(clause)
 
     # -- Setup ----------------------------------------------------------
 
@@ -107,7 +131,15 @@ class CdclSolver:
             self._phase.append(False)
 
     def add_clause(self, literals: Iterable[int]) -> None:
-        """Add a problem clause.  Must be called before :meth:`solve`."""
+        """Add a problem clause.
+
+        May be called before the first :meth:`solve` *or* between solves
+        (incremental strengthening): after a solve the trail holds only
+        level-0 assignments, so the clause is reduced against those,
+        watches are attached normally, and any implied unit propagates
+        immediately.  Only adding clauses *during* a search (never
+        observable from outside) is forbidden.
+        """
         if self._trail_lim:
             raise ConfigurationError("cannot add clauses mid-search")
         clause = sorted(set(literals), key=abs)
@@ -121,6 +153,10 @@ class CdclSolver:
             if by_var.get(abs(literal), literal) != literal:
                 return
             by_var[abs(literal)] = literal
+        self._ingest(clause)
+
+    def _ingest(self, clause: list[int]) -> None:
+        """Reduce a normalized clause against level 0 and install it."""
         # Remove literals already false at level 0; satisfied clauses drop.
         reduced: list[int] = []
         for literal in clause:
@@ -337,8 +373,15 @@ class CdclSolver:
         """Search for a model extending ``assumptions``.
 
         Returns True (model available via :meth:`model`) or False.
+
+        The solver survives the call either way: assumptions are fully
+        retracted, learned clauses/activities/phases are kept, and
+        further :meth:`solve` or :meth:`add_clause` calls are legal.
+        An UNSAT answer under one set of assumptions does not poison
+        later calls unless the formula itself is unsatisfiable.
         """
         self._model = None
+        self.stats.solve_calls += 1
         if not self._ok:
             return False
         self._backtrack(0)
@@ -436,6 +479,7 @@ class DpllSolver:
         self._clauses.append(clause)
 
     def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        self.stats.solve_calls += 1
         assignment: dict[int, bool] = {}
         for literal in assumptions:
             value = literal > 0

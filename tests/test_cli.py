@@ -101,6 +101,56 @@ class TestConfigure:
         assert code == 2
         assert "error:" in output
 
+    def test_session_repeats_report_cache_hits(self, spec_file):
+        code, output = run(
+            ["configure", "--session", "--repeat", "3", spec_file]
+        )
+        assert code == 0
+        lines = output.strip().splitlines()
+        assert len(lines) == 4  # 3 per-call lines + summary
+        assert "(cold)" in lines[0]
+        for warm_line in lines[1:3]:
+            assert "graph-hit" in warm_line
+            assert "solver-reused" in warm_line
+            assert "spec-reused" in warm_line
+        assert "session: 3 calls, 2 graph hits / 1 misses" in lines[3]
+        assert "2 solver reuses" in lines[3]
+
+    def test_session_multiple_specs(self, spec_file, tmp_path):
+        other = tmp_path / "other.json"
+        other.write_text(FIGURE_2)
+        code, output = run(
+            ["configure", "--session", spec_file, str(other)]
+        )
+        assert code == 0
+        # Identical structure under a different file name: same
+        # fingerprint, so the second call is warm.
+        assert "graph-hit" in output.strip().splitlines()[1]
+
+    def test_session_output_with_single_spec(self, spec_file, tmp_path):
+        out_file = tmp_path / "full.json"
+        code, output = run(
+            ["configure", "--session", "--repeat", "2",
+             spec_file, "-o", str(out_file)]
+        )
+        assert code == 0
+        data = json.loads(out_file.read_text())
+        assert {"server", "tomcat", "openmrs"} <= {e["id"] for e in data}
+
+    def test_output_refused_for_multiple_specs(self, spec_file, tmp_path):
+        other = tmp_path / "other.json"
+        other.write_text(FIGURE_2)
+        code, output = run(
+            ["configure", "--session", spec_file, str(other), "-o", "x.json"]
+        )
+        assert code == 2
+        assert "error:" in output
+
+    def test_multiple_specs_require_session(self, spec_file):
+        code, output = run(["configure", spec_file, spec_file])
+        assert code == 2
+        assert "--session" in output
+
 
 class TestGraph:
     def test_figure5(self, spec_file):

@@ -102,6 +102,107 @@ class TestAssumptions:
         assert s.solve([-1])
 
 
+class TestIncremental:
+    """One solver instance answering many queries (MiniSat-style)."""
+
+    @staticmethod
+    def relaxed_pigeonhole(holes):
+        """PHP(holes+1, holes) with a relaxation literal ``r`` added to
+        every hole-exclusivity clause: UNSAT under ``-r``, trivially SAT
+        under ``r``."""
+        pigeons = holes + 1
+        f = CnfFormula()
+        r = f.new_var()
+        var = {}
+        for p in range(pigeons):
+            for h in range(holes):
+                var[(p, h)] = f.new_var()
+        for p in range(pigeons):
+            f.add_clause([var[(p, h)] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    f.add_clause([r, -var[(p1, h)], -var[(p2, h)]])
+        return f, r
+
+    def test_assumptions_fully_undone_between_solves(self):
+        f = formula_from([[1, 2], [-2, 3]], 3)
+        s = CdclSolver(f)
+        assert s.solve([-1])
+        assert s.model()[1] is False
+        # The opposite assumption must be satisfiable on the same
+        # solver: nothing from the first call may stay on the trail.
+        assert s.solve([1, -2])
+        assert s.model()[1] is True
+        assert s.solve([])
+
+    def test_learned_clauses_persist_across_solves(self):
+        f, r = self.relaxed_pigeonhole(4)
+        s = CdclSolver(f)
+        assert not s.solve([-r])
+        first_conflicts = s.stats.conflicts
+        assert first_conflicts > 0
+        assert s.solve([r])  # relaxed: satisfiable
+        sat_conflicts = s.stats.conflicts
+        assert not s.solve([-r])  # same hard query again
+        # The clauses learned during the first refutation are still in
+        # the database, so the re-refutation takes fewer new conflicts.
+        assert s.stats.conflicts - sat_conflicts < first_conflicts
+        assert s.stats.solve_calls == 3
+
+    def test_unsat_under_assumptions_does_not_poison_later_sat(self):
+        f, r = self.relaxed_pigeonhole(3)
+        s = CdclSolver(f)
+        assert not s.solve([-r])
+        assert s.solve([])
+        check_model(f, s.model())
+        assert not s.solve([-r])
+        assert s.solve([r])
+        check_model(f, s.model())
+
+    def test_add_clause_after_solve_flips_answer(self):
+        f = formula_from([[1, 2]], 2)
+        s = CdclSolver(f)
+        assert s.solve()
+        s.add_clause([-1])
+        assert s.solve()
+        assert s.model()[1] is False
+        assert s.model()[2] is True
+        s.add_clause([-2])
+        assert not s.solve()
+
+    def test_add_clause_after_solve_participates_in_propagation(self):
+        # The clause added mid-stream must get watches: its unit
+        # consequences have to fire inside later searches.
+        f = formula_from([[1, 2], [3, 4]], 4)
+        s = CdclSolver(f)
+        assert s.solve([-1])
+        s.add_clause([-2, 3])
+        s.add_clause([-3, -4])
+        for assumptions in ([-1], [-1, -4], [2, 3]):
+            assert s.solve(assumptions)
+            check_model(f, s.model())
+            m = s.model()
+            assert (not m[2]) or m[3]
+            assert (not m[3]) or (not m[4])
+        assert not s.solve([2, 4])
+
+    def test_incremental_matches_fresh_solver(self):
+        rng = random.Random(7)
+        f = CnfFormula()
+        for _ in range(12):
+            f.new_var()
+        s = CdclSolver(f)
+        clauses = []
+        for _ in range(40):
+            clause = rng.sample(range(1, 13), 3)
+            clause = [v if rng.random() < 0.5 else -v for v in clause]
+            clauses.append(clause)
+            s.add_clause(clause)
+            fresh = CdclSolver(formula_from(clauses, 12))
+            assert s.solve() == fresh.solve()
+
+
 class TestPigeonhole:
     """PHP(n+1, n) is classically hard for resolution and a good
     stress test for conflict analysis."""
