@@ -219,8 +219,14 @@ def cmd_dimacs(args, out: TextIO) -> int:
 BUNDLE_FORMAT = "engage-bundle-1"
 
 
-def _save_bundle(path: str, registry, infrastructure, system) -> None:
-    """Persist world + deployment state + resource types in one file."""
+def _save_bundle(
+    path: str, registry, infrastructure, system, journal=None
+) -> None:
+    """Persist world + deployment state + resource types in one file.
+
+    With ``journal`` the embedded state uses the resumable
+    ``engage-state-2`` format (``engage-sim deploy --resume``).
+    """
     import json
 
     from repro.dsl import format_module
@@ -231,7 +237,7 @@ def _save_bundle(path: str, registry, infrastructure, system) -> None:
         "format": BUNDLE_FORMAT,
         "types": format_module(_ordered_types(registry)),
         "world": json.loads(save_world(infrastructure)),
-        "state": json.loads(save_system(system)),
+        "state": json.loads(save_system(system, journal)),
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(bundle, handle, indent=1)
@@ -239,11 +245,12 @@ def _save_bundle(path: str, registry, infrastructure, system) -> None:
 
 
 def _load_bundle(path: str):
-    """Rebuild (registry, infrastructure, drivers, system) from a bundle."""
+    """Rebuild (registry, infrastructure, drivers, system, journal)
+    from a bundle; ``journal`` is ``None`` for non-resumable bundles."""
     import json
 
     from repro.core.errors import RuntimeEngageError
-    from repro.runtime import load_system
+    from repro.runtime import load_system_and_journal
     from repro.sim import load_world
 
     with open(path, "r", encoding="utf-8") as handle:
@@ -259,14 +266,14 @@ def _load_bundle(path: str):
     infrastructure = load_world(json.dumps(bundle["world"]))
     drivers = standard_drivers()
     drivers.set_fallback("service")
-    system = load_system(
+    system, journal = load_system_and_journal(
         registry, infrastructure, drivers, json.dumps(bundle["state"])
     )
-    return registry, infrastructure, drivers, system
+    return registry, infrastructure, drivers, system, journal
 
 
 def cmd_status(args, out: TextIO) -> int:
-    _, infrastructure, _, system = _load_bundle(args.bundle)
+    _, infrastructure, _, system, _ = _load_bundle(args.bundle)
     out.write(system.describe() + "\n")
     out.write(
         f"simulated clock: {infrastructure.clock.now / 60:.1f} minutes\n"
@@ -275,7 +282,7 @@ def cmd_status(args, out: TextIO) -> int:
 
 
 def cmd_stop(args, out: TextIO) -> int:
-    registry, infrastructure, drivers, system = _load_bundle(args.bundle)
+    registry, infrastructure, drivers, system, _ = _load_bundle(args.bundle)
     DeploymentEngine(registry, infrastructure, drivers).shutdown(system)
     _save_bundle(args.bundle, registry, infrastructure, system)
     out.write("stopped; bundle updated.\n")
@@ -283,7 +290,7 @@ def cmd_stop(args, out: TextIO) -> int:
 
 
 def cmd_start(args, out: TextIO) -> int:
-    registry, infrastructure, drivers, system = _load_bundle(args.bundle)
+    registry, infrastructure, drivers, system, _ = _load_bundle(args.bundle)
     DeploymentEngine(registry, infrastructure, drivers).start(system)
     _save_bundle(args.bundle, registry, infrastructure, system)
     out.write("started; bundle updated.\n")
@@ -296,7 +303,7 @@ def cmd_upgrade(args, out: TextIO) -> int:
 
     from repro.dsl import lower_module, parse_module
 
-    registry, infrastructure, drivers, system = _load_bundle(args.bundle)
+    registry, infrastructure, drivers, system, _ = _load_bundle(args.bundle)
     for path in args.types or ():
         with open(path, "r", encoding="utf-8") as handle:
             # Skip types the bundle already carries (same key).
@@ -329,7 +336,7 @@ def cmd_upgrade(args, out: TextIO) -> int:
 
 def cmd_inject_fault(args, out: TextIO) -> int:
     """Fail a running service process (testing/chaos helper)."""
-    registry, infrastructure, drivers, system = _load_bundle(args.bundle)
+    registry, infrastructure, drivers, system, _ = _load_bundle(args.bundle)
     driver = system.drivers.get(args.instance)
     if driver is None:
         out.write(f"error: no instance {args.instance!r}\n")
@@ -339,8 +346,12 @@ def cmd_inject_fault(args, out: TextIO) -> int:
         out.write(f"error: {args.instance!r} has no running process\n")
         return 2
     process.fail()
+    machine = system.machine_for(args.instance)
     _save_bundle(args.bundle, registry, infrastructure, system)
-    out.write(f"failed process {process.name!r}; bundle updated.\n")
+    out.write(
+        f"failed process {process.name!r} (instance {args.instance!r}) "
+        f"on {machine.hostname}; bundle updated.\n"
+    )
     return 0
 
 
@@ -348,7 +359,7 @@ def cmd_watch(args, out: TextIO) -> int:
     """One monitoring pass: restart every failed service (monit)."""
     from repro.runtime import ProcessMonitor
 
-    registry, infrastructure, drivers, system = _load_bundle(args.bundle)
+    registry, infrastructure, drivers, system, _ = _load_bundle(args.bundle)
     monitor = ProcessMonitor(system)
     events = monitor.poll()
     for event in events:
@@ -373,7 +384,109 @@ def _publish_missing_artifacts(registry, infrastructure) -> None:
             )
 
 
+def _retry_policy_from_args(args):
+    """A RetryPolicy when any retry flag was given, else None."""
+    from repro.runtime import RetryPolicy
+
+    if not (
+        args.max_retries > 0
+        or args.backoff is not None
+        or args.timeout is not None
+    ):
+        return None
+    return RetryPolicy(
+        max_attempts=args.max_retries + 1,
+        backoff_base=args.backoff if args.backoff is not None else 1.0,
+        action_timeout=args.timeout,
+    )
+
+
+def _install_chaos(args, infrastructure, out: TextIO) -> None:
+    """Install a seeded fault plan when --chaos-rate was given."""
+    if getattr(args, "chaos_rate", 0.0) > 0.0:
+        from repro.sim import FaultPlan
+
+        infrastructure.set_fault_plan(
+            FaultPlan.seeded(args.chaos_seed, args.chaos_rate)
+        )
+        out.write(
+            f"chaos: injecting faults (seed={args.chaos_seed}, "
+            f"rate={args.chaos_rate})\n"
+        )
+
+
+def _write_deploy_outcome(system, infrastructure, out: TextIO) -> None:
+    out.write("deployment state:\n")
+    for instance in system.spec.topological_order():
+        out.write(
+            f"  {instance.id:<16} {str(instance.key):<28} "
+            f"{system.state_of(instance.id)}\n"
+        )
+    report = system.report
+    if report is not None and report.retries:
+        out.write(
+            f"recovered from {report.retries} failed attempt(s), "
+            f"{report.total_backoff_seconds:.1f}s total backoff\n"
+        )
+    out.write(
+        f"simulated time: {infrastructure.clock.now / 60:.1f} minutes\n"
+    )
+
+
+def _write_failure(failure, out: TextIO) -> None:
+    out.write(f"deployment FAILED: {failure}\n")
+    out.write(f"  completed: {sorted(failure.completed)}\n")
+    out.write(f"  failed:    {sorted(failure.failed)}\n")
+    out.write(f"  skipped:   {sorted(failure.skipped)}\n")
+    if failure.report is not None and failure.report.retries:
+        out.write(
+            f"  attempts:  {failure.report.retries} failed attempt(s), "
+            f"{failure.report.total_backoff_seconds:.1f}s total backoff\n"
+        )
+
+
 def cmd_deploy(args, out: TextIO) -> int:
+    from repro.core.errors import DeploymentFailure
+
+    policy = _retry_policy_from_args(args)
+
+    if args.resume:
+        registry, infrastructure, drivers, system, journal = _load_bundle(
+            args.resume
+        )
+        if journal is None:
+            out.write(
+                f"error: {args.resume} has no deployment journal to "
+                "resume from\n"
+            )
+            return 2
+        _install_chaos(args, infrastructure, out)
+        engine = DeploymentEngine(registry, infrastructure, drivers)
+        out.write(
+            f"resuming: {len(journal.completed)} of "
+            f"{len(journal.spec)} instances already deployed\n"
+        )
+        save_to = args.save or args.resume
+        try:
+            system = engine.resume(journal, policy=policy)
+        except DeploymentFailure as failure:
+            _write_failure(failure, out)
+            _save_bundle(
+                save_to, registry, infrastructure, failure.system,
+                failure.journal,
+            )
+            out.write(f"resumable bundle saved to {save_to}\n")
+            return 1
+        _write_deploy_outcome(system, infrastructure, out)
+        _save_bundle(
+            save_to, registry, infrastructure, system, system.journal
+        )
+        out.write(f"bundle saved to {save_to}\n")
+        return 0 if system.is_deployed() else 1
+
+    if not args.partial:
+        out.write("error: a partial spec is required (or use --resume)\n")
+        return 2
     registry = _build_registry(args)
     partial = _read_partial(args.partial)
     infrastructure = standard_infrastructure()
@@ -389,19 +502,27 @@ def cmd_deploy(args, out: TextIO) -> int:
         f"configured {len(result.spec)} instances from "
         f"{len(partial)} in the partial specification\n"
     )
+    _install_chaos(args, infrastructure, out)
     deploy = DeploymentEngine(registry, infrastructure, drivers)
-    system = deploy.deploy(result.spec)
-    out.write("deployment state:\n")
-    for instance in result.spec.topological_order():
-        out.write(
-            f"  {instance.id:<16} {str(instance.key):<28} "
-            f"{system.state_of(instance.id)}\n"
+    try:
+        system = deploy.deploy(result.spec, policy=policy)
+    except DeploymentFailure as failure:
+        _write_failure(failure, out)
+        if args.save:
+            _save_bundle(
+                args.save, registry, infrastructure, failure.system,
+                failure.journal,
+            )
+            out.write(
+                f"resumable bundle saved to {args.save} "
+                f"(finish with: deploy --resume {args.save})\n"
+            )
+        return 1
+    _write_deploy_outcome(system, infrastructure, out)
+    if args.save:
+        _save_bundle(
+            args.save, registry, infrastructure, system, system.journal
         )
-    out.write(
-        f"simulated time: {infrastructure.clock.now / 60:.1f} minutes\n"
-    )
-    if getattr(args, "save", None):
-        _save_bundle(args.save, registry, infrastructure, system)
         out.write(f"bundle saved to {args.save}\n")
     return 0 if system.is_deployed() else 1
 
@@ -471,10 +592,45 @@ def build_parser() -> argparse.ArgumentParser:
     deploy = sub.add_parser(
         "deploy", help="configure and run a simulated deployment"
     )
-    common(deploy)
+    common(deploy, with_partial=False)
+    deploy.add_argument(
+        "partial", metavar="PARTIAL_SPEC.json", nargs="?",
+        help="partial installation specification (Figure 2 JSON); "
+        "omit when using --resume",
+    )
     deploy.add_argument(
         "--save", metavar="BUNDLE",
-        help="persist world + deployment for later status/stop/start",
+        help="persist world + deployment for later status/stop/start; "
+        "on failure the bundle is resumable",
+    )
+    deploy.add_argument(
+        "--resume", metavar="BUNDLE",
+        help="resume an interrupted deployment from its journal "
+        "(a bundle written by a failed 'deploy --save')",
+    )
+    deploy.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="retry each failing driver action up to N times "
+        "(transient faults only; default 0)",
+    )
+    deploy.add_argument(
+        "--backoff", type=float, default=None, metavar="SECONDS",
+        help="base backoff between retries (exponential, deterministic "
+        "jitter; default 1.0 when retries are enabled)",
+    )
+    deploy.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-action simulated-time budget; hung actions are "
+        "abandoned (and retried) after this long",
+    )
+    deploy.add_argument(
+        "--chaos-rate", type=float, default=0.0, metavar="RATE",
+        help="inject deterministic transient faults into this fraction "
+        "of driver actions (0..1; testing helper)",
+    )
+    deploy.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="SEED",
+        help="seed for --chaos-rate fault decisions",
     )
 
     for name, help_text in (

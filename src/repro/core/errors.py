@@ -90,8 +90,60 @@ class GuardError(DriverError):
     """A transition was attempted while its guard was false."""
 
 
+class TransientError(RuntimeEngageError):
+    """A failure that may succeed if the operation is retried.
+
+    The fault-injection layer raises these for transient failure modes
+    (flaky downloads, slow dependency startup); a
+    :class:`~repro.runtime.retry.RetryPolicy` classifies them as
+    retryable by default.
+    """
+
+
+class ActionTimeout(TransientError):
+    """A driver action exceeded its per-action timeout budget.
+
+    Raised when a hung operation consumed the whole budget granted by
+    the retry policy; retrying may hit a shorter (or no) hang.
+    """
+
+
 class DeploymentError(RuntimeEngageError):
     """The deployment engine could not bring the system to `active`."""
+
+
+class DeploymentFailure(DeploymentError):
+    """A deployment stopped at a consistent frontier.
+
+    Carries everything needed to understand and resume the run: the
+    write-ahead ``journal`` (a
+    :class:`~repro.runtime.journal.DeploymentJournal`, or ``None`` when
+    the failing pass was not journalled), the ``completed`` /
+    ``failed`` / ``skipped`` instance-id sets, the partial ``report``,
+    and the partially-driven ``system``.  No instance is ever left
+    mid-transition: a failed action does not advance its driver's state
+    machine, and instances after the failure point (all dependents of
+    the failed instance included) are untouched.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        journal=None,
+        completed=(),
+        failed=(),
+        skipped=(),
+        report=None,
+        system=None,
+    ) -> None:
+        super().__init__(message)
+        self.journal = journal
+        self.completed = frozenset(completed)
+        self.failed = frozenset(failed)
+        self.skipped = frozenset(skipped)
+        self.report = report
+        self.system = system
 
 
 class ProvisioningError(RuntimeEngageError):

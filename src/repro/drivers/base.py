@@ -89,10 +89,19 @@ class ResourceDriver:
     #: Path of the per-machine audit log every action appends to.
     LOG_PATH = "/var/log/engage.log"
 
-    def perform(self, action: str) -> None:
+    def perform(self, action: str, *, timeout: Optional[float] = None) -> None:
         """Execute ``action``: run its implementation, advance the state,
         charge simulated time, and append to the machine's audit log.
-        The runtime must have checked the guard already."""
+        The runtime must have checked the guard already.
+
+        ``timeout`` is the per-action budget granted by the caller's
+        retry policy; an installed fault plan uses it to decide whether
+        a hang merely slows the action or aborts it with
+        :class:`~repro.core.errors.ActionTimeout`.  A fault fires
+        *before* the handler runs, so a faulted action has no side
+        effects and does not advance the state machine -- retries start
+        from a clean slate.
+        """
         transition = self.machine_spec.find(self.state, action)
         handler = getattr(self, f"do_{action}", None)
         if handler is None:
@@ -103,7 +112,14 @@ class ResourceDriver:
         duration = self.action_seconds.get(action, 1.0)
         clock = self.context.infrastructure.clock
         clock.advance(duration, f"{action}:{self.context.instance.id}")
+        plan = getattr(self.context.infrastructure, "fault_plan", None)
         try:
+            if plan is not None:
+                plan.fire(
+                    f"driver:{self.context.instance.id}:{action}",
+                    clock,
+                    timeout=timeout,
+                )
             handler()
         except Exception:
             self._log(action, transition.source, "FAILED")

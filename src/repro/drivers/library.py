@@ -173,6 +173,7 @@ class ServiceDriver(PackageDriver):
             self.service_name(),
             command=f"{self.service_name()} --daemon",
             listen_ports=self.listen_ports(),
+            instance_id=self.context.instance.id,
         )
 
     def do_stop(self) -> None:

@@ -15,6 +15,7 @@ from repro.runtime.deploy import (
     DeploymentReport,
     standard_driver_registry,
 )
+from repro.runtime.journal import DeploymentJournal, JournalEntry
 from repro.runtime.monitor import (
     MONIT_KEY,
     MonitorEvent,
@@ -26,7 +27,15 @@ from repro.runtime.provision import (
     machine_os_identity,
     provision_partial_spec,
 )
-from repro.runtime.state import STATE_FORMAT, load_system, save_system
+from repro.runtime.retry import DEFAULT_CHAOS_POLICY, RetryPolicy
+from repro.runtime.state import (
+    JOURNAL_FORMAT,
+    STATE_FORMAT,
+    adopt_states,
+    load_system,
+    load_system_and_journal,
+    save_system,
+)
 from repro.runtime.upgrade import (
     SpecDiff,
     UpgradeEngine,
@@ -36,9 +45,16 @@ from repro.runtime.upgrade import (
 
 __all__ = [
     "ActionRecord",
+    "DEFAULT_CHAOS_POLICY",
     "DeployedSystem",
     "DeploymentEngine",
+    "DeploymentJournal",
     "DeploymentReport",
+    "JOURNAL_FORMAT",
+    "JournalEntry",
+    "RetryPolicy",
+    "adopt_states",
+    "load_system_and_journal",
     "MasterCoordinator",
     "MultiHostDeployment",
     "MultiHostReport",

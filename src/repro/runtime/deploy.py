@@ -19,12 +19,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.core.errors import DeploymentError, GuardError
+from repro.core.errors import (
+    ActionTimeout,
+    DeploymentError,
+    DeploymentFailure,
+    EngageError,
+    GuardError,
+    TransientError,
+)
 from repro.core.instances import InstallSpec, ResourceInstance
 from repro.core.registry import ResourceTypeRegistry
 from repro.drivers.base import DriverContext, DriverRegistry, ResourceDriver
 from repro.drivers.library import MachineDriver, NullDriver
 from repro.drivers.state_machine import ACTIVE, INACTIVE, UNINSTALLED
+from repro.runtime.journal import DeploymentJournal, JournalEntry
+from repro.runtime.retry import RetryPolicy
 from repro.sim.infrastructure import Infrastructure
 from repro.sim.machine import Machine, OsIdentity
 
@@ -44,12 +53,28 @@ def standard_driver_registry() -> DriverRegistry:
 
 @dataclass
 class ActionRecord:
-    """One driver action executed during deployment."""
+    """One driver action *attempt* executed during deployment.
+
+    With a retry policy in force an action may appear several times for
+    the same (instance, action) pair: one record per attempt, each
+    carrying the attempt number, its outcome (``"ok"``,
+    ``"transient-error"``, ``"timeout"``, or ``"error"``), the backoff
+    the engine waited after a retryable failure, and the error text --
+    so reports show exactly what recovery cost.
+    """
 
     instance_id: str
     action: str
     started_at: float
     duration: float
+    attempt: int = 1
+    outcome: str = "ok"
+    backoff_seconds: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.outcome == "ok"
 
 
 @dataclass
@@ -62,6 +87,16 @@ class DeploymentReport:
 
     def actions_for(self, instance_id: str) -> list[ActionRecord]:
         return [a for a in self.actions if a.instance_id == instance_id]
+
+    @property
+    def retries(self) -> int:
+        """How many action attempts failed (and so were retried or
+        aborted the run)."""
+        return sum(1 for a in self.actions if not a.succeeded)
+
+    @property
+    def total_backoff_seconds(self) -> float:
+        return sum(a.backoff_seconds for a in self.actions)
 
 
 class DeployedSystem:
@@ -81,6 +116,7 @@ class DeployedSystem:
         self.drivers = drivers
         self.machines = machines
         self.report: Optional[DeploymentReport] = None
+        self.journal: Optional[DeploymentJournal] = None
 
     def driver(self, instance_id: str) -> ResourceDriver:
         return self.drivers[instance_id]
@@ -134,15 +170,63 @@ class DeploymentEngine:
 
     # -- Deploy ------------------------------------------------------------
 
-    def deploy(self, spec: InstallSpec) -> DeployedSystem:
+    def deploy(
+        self,
+        spec: InstallSpec,
+        *,
+        policy: Optional[RetryPolicy] = None,
+        journal: Optional[DeploymentJournal] = None,
+    ) -> DeployedSystem:
         """Install, configure, and start everything; returns the deployed
-        system with every driver in ``active``."""
+        system with every driver in ``active``.
+
+        ``policy`` governs retries of failing driver actions.  Every
+        completed transition is appended to a write-ahead journal; on
+        fatal failure the run stops at a consistent frontier and raises
+        :class:`~repro.core.errors.DeploymentFailure` carrying the
+        journal, from which :meth:`resume` can finish the job.
+        """
         machines = self._resolve_machines(spec)
         drivers = self._create_drivers(spec, machines)
         system = DeployedSystem(
             spec, self.registry, self.infrastructure, drivers, machines
         )
-        system.report = self._drive_all(system, ACTIVE, reverse=False)
+        if journal is None:
+            journal = DeploymentJournal(spec, target=ACTIVE)
+        system.journal = journal
+        system.report = self._drive(
+            system, ACTIVE, reverse=False, policy=policy, journal=journal
+        )
+        return system
+
+    def resume(
+        self,
+        journal: DeploymentJournal,
+        *,
+        policy: Optional[RetryPolicy] = None,
+    ) -> DeployedSystem:
+        """Finish an interrupted deployment from its journal.
+
+        Re-adopts the journal's frontier against this engine's
+        infrastructure (reattaching the processes of already-active
+        services, exactly like :func:`repro.runtime.state.load_system`)
+        and drives only the remaining work; already-completed instances
+        no-op.  Raises :class:`DeploymentFailure` again if the remaining
+        work fails too.
+        """
+        from repro.runtime.state import adopt_states
+
+        system = self.prepare(journal.spec)
+        adopt_states(system, journal.states(), partial=True)
+        journal.reset_frontier()
+        system.journal = journal
+        system.report = self._drive(
+            system,
+            journal.target,
+            reverse=False,
+            policy=policy,
+            journal=journal,
+        )
         return system
 
     def _resolve_machines(self, spec: InstallSpec) -> dict[str, Machine]:
@@ -196,18 +280,69 @@ class DeploymentEngine:
 
     # -- State transitions ---------------------------------------------------
 
-    def _drive_all(
-        self, system: DeployedSystem, target: str, *, reverse: bool
+    def _drive(
+        self,
+        system: DeployedSystem,
+        target: str,
+        *,
+        reverse: bool,
+        only: Optional[set[str]] = None,
+        policy: Optional[RetryPolicy] = None,
+        journal: Optional[DeploymentJournal] = None,
     ) -> DeploymentReport:
+        """Drive instances (all, or just ``only``) to ``target`` in
+        (reverse) dependency order, recording the critical-path makespan.
+
+        On a fatal per-instance failure the pass stops at a consistent
+        frontier: the failed transition did not advance its driver, and
+        every instance after the failure point in the order -- which
+        includes all dependents of the failed instance -- is untouched.
+        """
         report = DeploymentReport()
         order = system.spec.topological_order()
         if reverse:
             order = list(reversed(order))
+        selected = [i for i in order if only is None or i.id in only]
         finish_times: dict[str, float] = {}
-        for instance in order:
-            started = self.infrastructure.clock.now
-            self._drive_instance(system, instance.id, target, report)
-            duration = self.infrastructure.clock.now - started
+        clock = self.infrastructure.clock
+        for index, instance in enumerate(selected):
+            started = clock.now
+            try:
+                self._drive_instance(
+                    system,
+                    instance.id,
+                    target,
+                    report,
+                    policy=policy,
+                    journal=journal,
+                )
+            except GuardError:
+                # A guard violation is a protocol error by the caller
+                # (wrong closure, wrong order), not a deployment fault:
+                # propagate it unwrapped.
+                raise
+            except EngageError as exc:
+                self._finish_report(report, finish_times)
+                system.report = report
+                skipped = [other.id for other in selected[index + 1:]]
+                completed = (
+                    set(journal.completed)
+                    if journal is not None
+                    else {other.id for other in selected[:index]}
+                )
+                if journal is not None:
+                    journal.mark_failed(instance.id, str(exc))
+                    journal.mark_skipped(skipped)
+                raise DeploymentFailure(
+                    f"deployment stopped at {instance.id!r}: {exc}",
+                    journal=journal,
+                    completed=completed,
+                    failed={instance.id},
+                    skipped=skipped,
+                    report=report,
+                    system=system,
+                ) from exc
+            duration = clock.now - started
             neighbour_finishes = [
                 finish_times.get(other, 0.0)
                 for other in (
@@ -218,9 +353,15 @@ class DeploymentEngine:
             ]
             earliest = max(neighbour_finishes, default=0.0)
             finish_times[instance.id] = earliest + duration
+        self._finish_report(report, finish_times)
+        return report
+
+    @staticmethod
+    def _finish_report(
+        report: DeploymentReport, finish_times: dict[str, float]
+    ) -> None:
         report.sequential_seconds = sum(a.duration for a in report.actions)
         report.makespan_seconds = max(finish_times.values(), default=0.0)
-        return report
 
     def _drive_instance(
         self,
@@ -228,27 +369,104 @@ class DeploymentEngine:
         instance_id: str,
         target: str,
         report: DeploymentReport,
+        *,
+        policy: Optional[RetryPolicy] = None,
+        journal: Optional[DeploymentJournal] = None,
     ) -> None:
         driver = system.driver(instance_id)
         path = driver.machine_spec.path_to(driver.state, target)
         for transition in path:
             self._check_guard(system, instance_id, transition)
-            started = self.infrastructure.clock.now
+            self._perform_with_retry(
+                system, instance_id, transition, report,
+                policy=policy, journal=journal,
+            )
+        if journal is not None and journal.target == target:
+            journal.mark_completed(instance_id)
+
+    def _perform_with_retry(
+        self,
+        system: DeployedSystem,
+        instance_id: str,
+        transition,
+        report: DeploymentReport,
+        *,
+        policy: Optional[RetryPolicy],
+        journal: Optional[DeploymentJournal],
+    ) -> None:
+        """One transition, up to ``policy.max_attempts`` times, with
+        exponential backoff between retryable failures.  Appends one
+        :class:`ActionRecord` per attempt; journals only success."""
+        driver = system.driver(instance_id)
+        clock = self.infrastructure.clock
+        attempts = policy.max_attempts if policy is not None else 1
+        timeout = policy.action_timeout if policy is not None else None
+        for attempt in range(1, attempts + 1):
+            started = clock.now
             try:
-                driver.perform(transition.action)
+                driver.perform(transition.action, timeout=timeout)
             except Exception as exc:
+                duration = clock.now - started
+                if isinstance(exc, ActionTimeout):
+                    outcome = "timeout"
+                elif isinstance(exc, TransientError):
+                    outcome = "transient-error"
+                else:
+                    outcome = "error"
+                retrying = (
+                    policy is not None
+                    and attempt < attempts
+                    and policy.is_retryable(exc)
+                )
+                backoff = 0.0
+                if retrying:
+                    backoff = policy.backoff_seconds(
+                        attempt, instance_id, transition.action
+                    )
+                    if backoff > 0.0:
+                        clock.advance(
+                            backoff,
+                            f"backoff:{instance_id}:{transition.action}",
+                        )
+                report.actions.append(
+                    ActionRecord(
+                        instance_id=instance_id,
+                        action=transition.action,
+                        started_at=started,
+                        duration=duration,
+                        attempt=attempt,
+                        outcome=outcome,
+                        backoff_seconds=backoff,
+                        error=str(exc),
+                    )
+                )
+                if retrying:
+                    continue
                 raise DeploymentError(
                     f"action {transition.action!r} failed on "
-                    f"{instance_id!r}: {exc}"
+                    f"{instance_id!r} (attempt {attempt} of {attempts}): "
+                    f"{exc}"
                 ) from exc
             report.actions.append(
                 ActionRecord(
                     instance_id=instance_id,
                     action=transition.action,
                     started_at=started,
-                    duration=self.infrastructure.clock.now - started,
+                    duration=clock.now - started,
+                    attempt=attempt,
                 )
             )
+            if journal is not None:
+                journal.record(
+                    JournalEntry(
+                        instance_id=instance_id,
+                        action=transition.action,
+                        source=transition.source,
+                        target=transition.target,
+                        timestamp=clock.now,
+                    )
+                )
+            return
 
     def _check_guard(
         self, system: DeployedSystem, instance_id: str, transition
@@ -295,51 +513,75 @@ class DeploymentEngine:
         )
 
     def stop_instances(
-        self, system: DeployedSystem, instance_ids: set[str]
+        self,
+        system: DeployedSystem,
+        instance_ids: set[str],
+        *,
+        policy: Optional[RetryPolicy] = None,
     ) -> DeploymentReport:
         """Drive just ``instance_ids`` to ``inactive``, in reverse
         dependency order, with guard checking."""
-        report = DeploymentReport()
-        for instance in reversed(system.spec.topological_order()):
-            if instance.id in instance_ids:
-                self._drive_instance(system, instance.id, INACTIVE, report)
-        report.sequential_seconds = sum(a.duration for a in report.actions)
-        return report
+        return self._drive(
+            system, INACTIVE, reverse=True, only=set(instance_ids),
+            policy=policy,
+        )
 
     def uninstall_instances(
-        self, system: DeployedSystem, instance_ids: set[str]
+        self,
+        system: DeployedSystem,
+        instance_ids: set[str],
+        *,
+        policy: Optional[RetryPolicy] = None,
     ) -> DeploymentReport:
         """Drive just ``instance_ids`` to ``uninstalled`` (they must
         already be inactive), in reverse dependency order."""
-        report = DeploymentReport()
-        for instance in reversed(system.spec.topological_order()):
-            if instance.id in instance_ids:
-                self._drive_instance(
-                    system, instance.id, UNINSTALLED, report
-                )
-        report.sequential_seconds = sum(a.duration for a in report.actions)
-        return report
+        return self._drive(
+            system, UNINSTALLED, reverse=True, only=set(instance_ids),
+            policy=policy,
+        )
 
-    def activate(self, system: DeployedSystem) -> DeploymentReport:
+    def activate(
+        self,
+        system: DeployedSystem,
+        *,
+        policy: Optional[RetryPolicy] = None,
+    ) -> DeploymentReport:
         """Drive everything to ``active``; already-active drivers no-op."""
-        report = self._drive_all(system, ACTIVE, reverse=False)
+        report = self._drive(system, ACTIVE, reverse=False, policy=policy)
         system.report = report
         return report
 
     # -- Management operations --------------------------------------------------
 
-    def shutdown(self, system: DeployedSystem) -> DeploymentReport:
+    def shutdown(
+        self,
+        system: DeployedSystem,
+        *,
+        policy: Optional[RetryPolicy] = None,
+    ) -> DeploymentReport:
         """Stop all services in reverse dependency order (S5.2)."""
-        return self._drive_all(system, INACTIVE, reverse=True)
+        return self._drive(system, INACTIVE, reverse=True, policy=policy)
 
-    def start(self, system: DeployedSystem) -> DeploymentReport:
+    def start(
+        self,
+        system: DeployedSystem,
+        *,
+        policy: Optional[RetryPolicy] = None,
+    ) -> DeploymentReport:
         """(Re)start everything in dependency order."""
-        return self._drive_all(system, ACTIVE, reverse=False)
+        return self._drive(system, ACTIVE, reverse=False, policy=policy)
 
-    def uninstall(self, system: DeployedSystem) -> DeploymentReport:
+    def uninstall(
+        self,
+        system: DeployedSystem,
+        *,
+        policy: Optional[RetryPolicy] = None,
+    ) -> DeploymentReport:
         """Stop and uninstall everything, reverse dependency order."""
-        report = self._drive_all(system, INACTIVE, reverse=True)
-        removal = self._drive_all(system, UNINSTALLED, reverse=True)
+        report = self._drive(system, INACTIVE, reverse=True, policy=policy)
+        removal = self._drive(
+            system, UNINSTALLED, reverse=True, policy=policy
+        )
         report.actions.extend(removal.actions)
         report.sequential_seconds += removal.sequential_seconds
         report.makespan_seconds += removal.makespan_seconds

@@ -1,0 +1,154 @@
+"""The write-ahead deployment journal.
+
+Every transition the deployment engine completes is appended to a
+:class:`DeploymentJournal` *after* the driver action succeeds (the
+driver state machine is the authority; the journal records facts, it
+does not promise them).  When a deployment fails fatally the journal --
+persisted in the ``engage-state-2`` format by
+:mod:`repro.runtime.state` -- is everything a later invocation needs to
+resume: the full spec, the target basic state, each completed
+transition, and the completed/failed/skipped partition of instances.
+
+Folding the entries gives the *frontier*: the per-instance driver state
+at the moment the run stopped.  The frontier is consistent by
+construction: a failed action never advances its state machine, and the
+engine drives instances in dependency order, so no dependent of a
+failed instance has been acted on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.errors import RuntimeEngageError
+from repro.core.instances import InstallSpec
+from repro.drivers.state_machine import ACTIVE
+
+
+@dataclass
+class JournalEntry:
+    """One completed driver transition."""
+
+    instance_id: str
+    action: str
+    source: str
+    target: str
+    timestamp: float
+
+    def to_payload(self) -> dict:
+        return {
+            "instance_id": self.instance_id,
+            "action": self.action,
+            "source": self.source,
+            "target": self.target,
+            "timestamp": self.timestamp,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "JournalEntry":
+        try:
+            return cls(
+                instance_id=payload["instance_id"],
+                action=payload["action"],
+                source=payload["source"],
+                target=payload["target"],
+                timestamp=float(payload["timestamp"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RuntimeEngageError(
+                f"malformed journal entry: {payload!r}"
+            ) from exc
+
+
+class DeploymentJournal:
+    """An append-only record of one deployment pass over a spec."""
+
+    def __init__(self, spec: InstallSpec, target: str = ACTIVE) -> None:
+        self.spec = spec
+        self.target = target
+        self.entries: list[JournalEntry] = []
+        self.completed: set[str] = set()
+        self.failed: dict[str, str] = {}  # instance id -> error message
+        self.skipped: set[str] = set()
+
+    # -- Recording -------------------------------------------------------
+
+    def record(self, entry: JournalEntry) -> None:
+        self.entries.append(entry)
+
+    def mark_completed(self, instance_id: str) -> None:
+        self.completed.add(instance_id)
+        self.failed.pop(instance_id, None)
+        self.skipped.discard(instance_id)
+
+    def mark_failed(self, instance_id: str, error: str) -> None:
+        self.failed[instance_id] = error
+
+    def mark_skipped(self, instance_ids: Iterable[str]) -> None:
+        self.skipped.update(instance_ids)
+
+    def reset_frontier(self) -> None:
+        """Forget failure bookkeeping before a resume re-drives the
+        remaining work (completed entries stay, of course)."""
+        self.failed.clear()
+        self.skipped.clear()
+
+    # -- Derived views ---------------------------------------------------
+
+    def states(self) -> dict[str, str]:
+        """The frontier: last recorded target per instance; instances
+        never journalled are still in their driver's initial state."""
+        states: dict[str, str] = {}
+        for entry in self.entries:
+            states[entry.instance_id] = entry.target
+        return states
+
+    def remaining(self) -> list[str]:
+        """Instance ids that have not reached the target state."""
+        return [
+            instance.id
+            for instance in self.spec.topological_order()
+            if instance.id not in self.completed
+        ]
+
+    def is_complete(self) -> bool:
+        return not self.remaining()
+
+    # -- Persistence payload (embedded by repro.runtime.state) -----------
+
+    def to_payload(self) -> dict:
+        return {
+            "target": self.target,
+            "entries": [entry.to_payload() for entry in self.entries],
+            "completed": sorted(self.completed),
+            "failed": dict(sorted(self.failed.items())),
+            "skipped": sorted(self.skipped),
+        }
+
+    @classmethod
+    def from_payload(
+        cls, spec: InstallSpec, payload: dict
+    ) -> "DeploymentJournal":
+        if not isinstance(payload, dict):
+            raise RuntimeEngageError("journal payload must be an object")
+        journal = cls(spec, target=payload.get("target", ACTIVE))
+        for entry_payload in payload.get("entries", ()):
+            journal.record(JournalEntry.from_payload(entry_payload))
+        journal.completed = set(payload.get("completed", ()))
+        failed = payload.get("failed", {})
+        if not isinstance(failed, dict):
+            raise RuntimeEngageError("journal 'failed' must be an object")
+        journal.failed = dict(failed)
+        journal.skipped = set(payload.get("skipped", ()))
+        unknown = (
+            set(journal.completed)
+            | set(journal.failed)
+            | journal.skipped
+            | {entry.instance_id for entry in journal.entries}
+        ) - set(spec.ids())
+        if unknown:
+            raise RuntimeEngageError(
+                f"journal mentions unknown instances: {sorted(unknown)}"
+            )
+        return journal

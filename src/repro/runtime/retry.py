@@ -1,0 +1,81 @@
+"""Retry policies for deployment actions.
+
+The paper's runtime assumes deployment actions either succeed or abort
+the run; real-world deploys see flaky package mirrors and slow service
+starts.  A :class:`RetryPolicy` tells the deployment engine how many
+times to attempt each driver action, how long to back off between
+attempts (exponential, with deterministic jitter so simulated runs are
+reproducible), how much simulated time a single attempt may consume
+before it counts as hung, and which exceptions are worth retrying at
+all.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Type
+
+from repro.core.errors import TransientError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the engine retries a failing driver action.
+
+    ``max_attempts`` counts the first attempt: the default of 1 means
+    "no retries", matching the engine's historical behaviour.  Backoff
+    for attempt *n* (1-based, waited after the *n*-th failure) is
+    ``backoff_base * backoff_factor**(n-1)`` capped at ``backoff_max``,
+    plus a deterministic jitter fraction in ``[0, jitter)`` derived from
+    the (instance, action, attempt) triple -- no wall-clock randomness,
+    so the same run replays identically.
+    """
+
+    max_attempts: int = 1
+    backoff_base: float = 1.0
+    backoff_factor: float = 2.0
+    backoff_max: float = 120.0
+    jitter: float = 0.1
+    #: Simulated-seconds budget for one attempt; a hang longer than this
+    #: aborts the attempt with ActionTimeout.  None = unbounded.
+    action_timeout: Optional[float] = None
+    #: Exception types that justify another attempt.  Everything else
+    #: (guard violations, driver bugs, unsatisfiable specs) is fatal.
+    retryable: Tuple[Type[BaseException], ...] = (TransientError,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff durations must be non-negative")
+        if not 0.0 <= self.jitter:
+            raise ValueError("jitter must be non-negative")
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.retryable)
+
+    def backoff_seconds(
+        self, attempt: int, instance_id: str, action: str
+    ) -> float:
+        """Simulated seconds to wait after failed attempt ``attempt``."""
+        base = min(
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+            self.backoff_max,
+        )
+        if self.jitter <= 0.0 or base <= 0.0:
+            return base
+        token = f"{instance_id}|{action}|{attempt}".encode()
+        fraction = (zlib.crc32(token) % 10_000) / 10_000.0
+        return base * (1.0 + self.jitter * fraction)
+
+
+#: A sensible default for chaos scenarios: a handful of attempts with
+#: sub-minute backoff and a generous per-action hang budget.
+DEFAULT_CHAOS_POLICY = RetryPolicy(
+    max_attempts=5,
+    backoff_base=2.0,
+    backoff_factor=2.0,
+    backoff_max=60.0,
+    action_timeout=90.0,
+)

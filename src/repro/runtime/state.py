@@ -8,6 +8,14 @@ that persistence: :func:`save_system` serialises a deployed system's
 specification and driver states; :func:`load_system` re-adopts it
 against the same infrastructure, reattaching service drivers to their
 still-running processes by name.
+
+Two formats exist.  ``engage-state-1`` is spec + states.
+``engage-state-2`` extends it with the write-ahead deployment journal
+(:class:`~repro.runtime.journal.DeploymentJournal`), so an interrupted
+deployment can be persisted at its consistent frontier and later
+resumed with :meth:`DeploymentEngine.resume`.  :func:`load_system`
+accepts both; :func:`load_system_and_journal` additionally returns the
+journal (``None`` for v1 files).
 """
 
 from __future__ import annotations
@@ -22,56 +30,55 @@ from repro.drivers.library import ServiceDriver
 from repro.drivers.state_machine import ACTIVE
 from repro.dsl.json_spec import full_from_json, full_to_json
 from repro.runtime.deploy import DeployedSystem, DeploymentEngine
+from repro.runtime.journal import DeploymentJournal
 from repro.sim.infrastructure import Infrastructure
 
 #: Format marker so future layout changes can be detected.
 STATE_FORMAT = "engage-state-1"
+#: The journalled format: v1 plus a "journal" section.
+JOURNAL_FORMAT = "engage-state-2"
 
 
-def save_system(system: DeployedSystem) -> str:
-    """Serialise a deployed system (spec + per-instance driver states)."""
+def save_system(
+    system: DeployedSystem,
+    journal: Optional[DeploymentJournal] = None,
+) -> str:
+    """Serialise a deployed system (spec + per-instance driver states).
+
+    With ``journal`` the output uses the ``engage-state-2`` format and
+    embeds the write-ahead journal, making the file resumable.
+    """
     payload = {
-        "format": STATE_FORMAT,
+        "format": JOURNAL_FORMAT if journal is not None else STATE_FORMAT,
         "spec": json.loads(full_to_json(system.spec)),
         "states": system.states(),
     }
+    if journal is not None:
+        payload["journal"] = journal.to_payload()
     return json.dumps(payload, indent=2) + "\n"
 
 
-def load_system(
-    registry: ResourceTypeRegistry,
-    infrastructure: Infrastructure,
-    drivers: DriverRegistry,
-    text: str,
-) -> DeployedSystem:
-    """Re-adopt a previously saved system.
+def adopt_states(
+    system: DeployedSystem,
+    states: dict[str, str],
+    *,
+    partial: bool = False,
+) -> None:
+    """Set each driver to its saved state, reattaching processes.
 
-    The machines must still exist on the infrastructure's network (state
-    files describe deployments of *this* world; they are not machine
-    images).  Service drivers whose saved state is ``active`` reattach to
-    the running process with their service name; a missing process is an
-    error -- the state file claims something the world contradicts.
+    Service drivers adopted as ``active`` must find the running process
+    with their service name on their machine; a missing process is an
+    error -- the state claims something the world contradicts.  With
+    ``partial=True`` instances absent from ``states`` stay in their
+    driver's initial state (used when re-adopting a journal frontier);
+    otherwise every instance must have a state.
     """
-    try:
-        payload = json.loads(text)
-    except json.JSONDecodeError as exc:
-        raise RuntimeEngageError(f"malformed state file: {exc}") from exc
-    if not isinstance(payload, dict):
-        raise RuntimeEngageError("state file must be a JSON object")
-    if payload.get("format") != STATE_FORMAT:
-        raise RuntimeEngageError(
-            f"unsupported state format: {payload.get('format')!r}"
-        )
-    spec = full_from_json(json.dumps(payload["spec"]))
-    states = payload["states"]
-    missing = sorted(set(spec.ids()) - set(states))
-    if missing:
-        raise RuntimeEngageError(
-            f"state file has no driver state for {missing}"
-        )
-
-    engine = DeploymentEngine(registry, infrastructure, drivers)
-    system = engine.prepare(spec)
+    if not partial:
+        missing = sorted(set(system.spec.ids()) - set(states))
+        if missing:
+            raise RuntimeEngageError(
+                f"state file has no driver state for {missing}"
+            )
     for instance_id, state in states.items():
         if instance_id not in system.drivers:
             raise RuntimeEngageError(
@@ -96,4 +103,56 @@ def load_system(
             # A dead process is adopted as-is: that is precisely the
             # state the monitor repairs (`engage-sim watch`).
             driver.adopt_process(process)
+
+
+def _parse_state_payload(text: str) -> dict:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise RuntimeEngageError(f"malformed state file: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise RuntimeEngageError("state file must be a JSON object")
+    if payload.get("format") not in (STATE_FORMAT, JOURNAL_FORMAT):
+        raise RuntimeEngageError(
+            f"unsupported state format: {payload.get('format')!r}"
+        )
+    return payload
+
+
+def load_system_and_journal(
+    registry: ResourceTypeRegistry,
+    infrastructure: Infrastructure,
+    drivers: DriverRegistry,
+    text: str,
+) -> tuple[DeployedSystem, Optional[DeploymentJournal]]:
+    """Re-adopt a previously saved system, plus its journal if saved.
+
+    The machines must still exist on the infrastructure's network (state
+    files describe deployments of *this* world; they are not machine
+    images).
+    """
+    payload = _parse_state_payload(text)
+    spec = full_from_json(json.dumps(payload["spec"]))
+    engine = DeploymentEngine(registry, infrastructure, drivers)
+    system = engine.prepare(spec)
+    adopt_states(system, payload["states"])
+    journal: Optional[DeploymentJournal] = None
+    if payload.get("format") == JOURNAL_FORMAT:
+        journal = DeploymentJournal.from_payload(
+            spec, payload.get("journal", {})
+        )
+        system.journal = journal
+    return system, journal
+
+
+def load_system(
+    registry: ResourceTypeRegistry,
+    infrastructure: Infrastructure,
+    drivers: DriverRegistry,
+    text: str,
+) -> DeployedSystem:
+    """Re-adopt a previously saved system (either format)."""
+    system, _ = load_system_and_journal(
+        registry, infrastructure, drivers, text
+    )
     return system

@@ -24,6 +24,7 @@ from repro.core.instances import InstallSpec, PartialInstallSpec
 from repro.core.registry import ResourceTypeRegistry
 from repro.config.engine import ConfigurationEngine
 from repro.runtime.deploy import DeployedSystem, DeploymentEngine
+from repro.runtime.retry import RetryPolicy
 from repro.sim.infrastructure import Infrastructure
 
 
@@ -74,9 +75,15 @@ class UpgradeEngine:
         self,
         config_engine: ConfigurationEngine,
         deployment_engine: DeploymentEngine,
+        *,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self._config = config_engine
         self._deploy = deployment_engine
+        #: Applied to every deployment pass the upgrade performs --
+        #: including the rollback redeploy, so a transient fault during
+        #: recovery does not turn a failed upgrade into a lost system.
+        self._retry_policy = retry_policy
 
     def upgrade(
         self,
@@ -119,8 +126,10 @@ class UpgradeEngine:
         try:
             if strategy == "replace":
                 # Stop and remove the old system (worst-case strategy).
-                self._deploy.uninstall(system)
-                new_system = self._deploy.deploy(new_spec)
+                self._deploy.uninstall(system, policy=self._retry_policy)
+                new_system = self._deploy.deploy(
+                    new_spec, policy=self._retry_policy
+                )
             else:
                 new_system = self._upgrade_in_place(system, new_spec, diff)
             return UpgradeResult(
@@ -169,9 +178,13 @@ class UpgradeEngine:
 
         # 1. Stop the closure (reverse dependency order, guards hold
         #    because the closure is downstream-closed).
-        self._deploy.stop_instances(system, closure)
+        self._deploy.stop_instances(
+            system, closure, policy=self._retry_policy
+        )
         # 2. Uninstall removed and changed instances.
-        self._deploy.uninstall_instances(system, to_remove)
+        self._deploy.uninstall_instances(
+            system, to_remove, policy=self._retry_policy
+        )
 
         # 3. Build the new system, reusing live drivers for everything
         #    that survived (active instances keep running untouched;
@@ -185,7 +198,7 @@ class UpgradeEngine:
         new_system = self._deploy.prepare(new_spec, reuse_drivers=reuse)
         # 4. Install what is new/changed and restart the closure, in
         #    dependency order (already-active drivers no-op).
-        self._deploy.activate(new_system)
+        self._deploy.activate(new_system, policy=self._retry_policy)
         return new_system
 
     def _rollback(
@@ -201,7 +214,7 @@ class UpgradeEngine:
             machine.restore(backup["machine"])
             infrastructure.package_manager(machine).restore(backup["packages"])
         try:
-            return self._deploy.deploy(old_spec)
+            return self._deploy.deploy(old_spec, policy=self._retry_policy)
         except DeploymentError as exc:  # pragma: no cover - defensive
             raise UpgradeError(
                 f"rollback failed after upgrade failure: {exc}"

@@ -8,7 +8,15 @@ hits are cheap -- so ordering bugs and the cached-vs-internet experiment
 are observable."""
 
 from repro.sim.clock import ClockEvent, SimClock
-from repro.sim.faults import FaultInjector, FaultRecord
+from repro.sim.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultRecord,
+    FaultRule,
+    FaultyWorld,
+    InjectedFault,
+)
 from repro.sim.cloud import CloudProvider, MachineImage, standard_images
 from repro.sim.filesystem import VirtualFilesystem
 from repro.sim.infrastructure import Infrastructure
@@ -30,7 +38,12 @@ __all__ = [
     "MachineImage",
     "standard_images",
     "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
     "FaultRecord",
+    "FaultRule",
+    "FaultyWorld",
+    "InjectedFault",
     "VirtualFilesystem",
     "Infrastructure",
     "Machine",

@@ -1,32 +1,273 @@
 """Deterministic fault injection.
 
-The monitoring experiment needs failures: "If the process associated
-with a service fails, it will be automatically restarted by monit."
-This module provides a seeded injector so chaos-style tests are
-reproducible: it picks running processes at random and fails them, and
-can run whole kill/poll campaigns against a deployed system.
+Two layers of chaos live here.
+
+:class:`FaultInjector` is the original *post-deployment* injector: it
+picks running processes of a deployed system at random and fails them so
+the monitor ("monit") can be exercised.
+
+:class:`FaultPlan` / :class:`FaultyWorld` inject faults *during*
+deployment: every driver action flows through
+:meth:`~repro.drivers.base.ResourceDriver.perform`, which consults the
+infrastructure's installed plan before running the action's handler, so
+every driver is exercised without modification.  Machine-level
+operations (OSLPM package installs, which cover archive fetches) consult
+the same plan beneath the drivers.  Faults are deterministic: a seeded
+plan decides per *site* (for example ``driver:mysql:start``) from a
+stable per-site RNG, so the decisions do not depend on call order --
+which is what makes crash/resume runs replayable.
+
+Failure modes (:class:`FaultKind`):
+
+* ``TRANSIENT`` -- the operation raises
+  :class:`~repro.core.errors.TransientError` without side effects;
+* ``HANG`` -- the operation hangs for ``hang_seconds`` of simulated
+  time; if that exceeds the caller's timeout budget the clock advances
+  only to the budget and :class:`~repro.core.errors.ActionTimeout` is
+  raised, otherwise the operation is merely slow and then succeeds;
+* ``FLAKY`` -- shorthand for fail-``times``-then-succeed (each failure
+  is a ``TransientError``); ``TRANSIENT`` with ``times > 1`` behaves
+  identically.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from enum import Enum
+from fnmatch import fnmatchcase
+from typing import TYPE_CHECKING, Optional, Sequence
 
+from repro.core.errors import ActionTimeout, TransientError
+from repro.sim.clock import SimClock
 from repro.sim.process import SimProcess
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.deploy import DeployedSystem
     from repro.runtime.monitor import ProcessMonitor
+    from repro.sim.infrastructure import Infrastructure
+
+
+class FaultKind(Enum):
+    """How an injected fault manifests."""
+
+    TRANSIENT = "transient"
+    HANG = "hang"
+    FLAKY = "flaky"
+
+
+@dataclass
+class FaultRule:
+    """Inject up to ``times`` faults at every site matching ``pattern``.
+
+    Sites are strings like ``driver:<instance>:<action>`` or
+    ``oslpm:<hostname>:install:<package>``; ``pattern`` is matched with
+    :func:`fnmatch.fnmatchcase`.
+    """
+
+    pattern: str
+    kind: FaultKind = FaultKind.TRANSIENT
+    times: int = 1
+    hang_seconds: float = 0.0
+
+
+@dataclass
+class InjectedFault:
+    """One fault the plan actually fired."""
+
+    timestamp: float
+    site: str
+    kind: FaultKind
+    occurrence: int  # 1-based count of faults fired at this site
+
+
+@dataclass
+class _SiteState:
+    """Per-site countdown: how many more faults to fire, and how."""
+
+    kind: FaultKind
+    remaining: int
+    hang_seconds: float
+    fired: int = 0
+
+
+class FaultPlan:
+    """A deterministic schedule of faults keyed by operation site.
+
+    Explicit rules are added with :meth:`on`; :meth:`seeded` builds a
+    randomized-but-reproducible plan where every site independently
+    draws whether (and how) it fails from ``Random(f"{seed}|{site}")``.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rules: list[FaultRule] = []
+        self._sites: dict[str, Optional[_SiteState]] = {}
+        self._rate = 0.0
+        self._random_kinds: tuple[FaultKind, ...] = ()
+        self._include: tuple[str, ...] = ("driver:*",)
+        self._max_failures = 1
+        self._random_hang_seconds = 0.0
+        self.records: list[InjectedFault] = []
+
+    # -- Construction ----------------------------------------------------
+
+    def on(
+        self,
+        pattern: str,
+        *,
+        kind: FaultKind = FaultKind.TRANSIENT,
+        times: int = 1,
+        hang_seconds: float = 0.0,
+    ) -> "FaultPlan":
+        """Add an explicit rule (chainable)."""
+        if kind == FaultKind.HANG and hang_seconds <= 0.0:
+            raise ValueError("HANG faults need hang_seconds > 0")
+        self._rules.append(FaultRule(pattern, kind, times, hang_seconds))
+        return self
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        rate: float,
+        *,
+        kinds: Sequence[FaultKind] = (FaultKind.TRANSIENT, FaultKind.FLAKY),
+        include: Sequence[str] = ("driver:*",),
+        max_failures: int = 2,
+        hang_seconds: float = 45.0,
+    ) -> "FaultPlan":
+        """A plan that fails each matching site with probability ``rate``.
+
+        Each site's decision (fail or not, kind, failure count) comes
+        from its own stable RNG, so two runs over the same spec -- or a
+        failed run and its resume -- see identical faults at identical
+        sites regardless of the order sites are visited in.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        plan = cls(seed)
+        plan._rate = rate
+        plan._random_kinds = tuple(kinds)
+        plan._include = tuple(include)
+        plan._max_failures = max(1, max_failures)
+        plan._random_hang_seconds = hang_seconds
+        return plan
+
+    # -- Decision --------------------------------------------------------
+
+    def _state_for(self, site: str) -> Optional[_SiteState]:
+        if site in self._sites:
+            return self._sites[site]
+        state: Optional[_SiteState] = None
+        for rule in self._rules:
+            if fnmatchcase(site, rule.pattern):
+                state = _SiteState(rule.kind, rule.times, rule.hang_seconds)
+                break
+        if state is None and self._rate > 0.0:
+            if any(fnmatchcase(site, p) for p in self._include):
+                rng = random.Random(f"{self.seed}|{site}")
+                if rng.random() < self._rate:
+                    kind = self._random_kinds[
+                        rng.randrange(len(self._random_kinds))
+                    ]
+                    times = rng.randint(1, self._max_failures)
+                    state = _SiteState(kind, times, self._random_hang_seconds)
+        self._sites[site] = state
+        return state
+
+    def fire(
+        self,
+        site: str,
+        clock: SimClock,
+        *,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Fault ``site`` if the plan says so; otherwise return quietly.
+
+        Raises :class:`TransientError` for transient/flaky faults.  For
+        hangs, advances the clock by the hang duration capped at
+        ``timeout`` and raises :class:`ActionTimeout` only if the hang
+        exceeded the budget (a hang within budget is just slowness).
+        """
+        state = self._state_for(site)
+        if state is None or state.remaining <= 0:
+            return
+        if state.kind == FaultKind.HANG:
+            if timeout is not None and state.hang_seconds > timeout:
+                state.remaining -= 1
+                state.fired += 1
+                clock.advance(timeout, f"fault-hang:{site}")
+                self.records.append(
+                    InjectedFault(clock.now, site, state.kind, state.fired)
+                )
+                raise ActionTimeout(
+                    f"{site}: hung for {timeout:.1f}s "
+                    f"(timeout budget exhausted)"
+                )
+            # Slow but within budget (or no budget): charge the hang
+            # and let the operation proceed.
+            state.remaining -= 1
+            state.fired += 1
+            clock.advance(state.hang_seconds, f"fault-slow:{site}")
+            self.records.append(
+                InjectedFault(clock.now, site, state.kind, state.fired)
+            )
+            return
+        state.remaining -= 1
+        state.fired += 1
+        self.records.append(
+            InjectedFault(clock.now, site, state.kind, state.fired)
+        )
+        raise TransientError(
+            f"{site}: injected transient fault "
+            f"({state.fired} of {state.fired + state.remaining})"
+        )
+
+    def pending(self, site: str) -> int:
+        """How many more faults this site would still fire (0 if none)."""
+        state = self._state_for(site)
+        return state.remaining if state is not None else 0
+
+
+class FaultyWorld:
+    """Installs a :class:`FaultPlan` onto an infrastructure.
+
+    Usable as a context manager so tests can scope chaos to one block::
+
+        with FaultyWorld(infrastructure, plan):
+            engine.deploy(spec, policy=policy)
+    """
+
+    def __init__(
+        self, infrastructure: "Infrastructure", plan: FaultPlan
+    ) -> None:
+        self.infrastructure = infrastructure
+        self.plan = plan
+        self.install()
+
+    def install(self) -> None:
+        self.infrastructure.set_fault_plan(self.plan)
+
+    def remove(self) -> None:
+        self.infrastructure.set_fault_plan(None)
+
+    def __enter__(self) -> "FaultyWorld":
+        self.install()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.remove()
 
 
 @dataclass
 class FaultRecord:
-    """One injected failure."""
+    """One injected process failure."""
 
     timestamp: float
     process_name: str
     hostname: str
+    instance_id: str = ""
 
 
 class FaultInjector:
@@ -62,6 +303,7 @@ class FaultInjector:
                 timestamp=self._system.infrastructure.clock.now,
                 process_name=process.name,
                 hostname=machine.hostname,
+                instance_id=instance_id,
             )
             new_records.append(record)
             self.records.append(record)

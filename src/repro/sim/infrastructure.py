@@ -29,8 +29,16 @@ class Infrastructure:
         self.downloads = DownloadService(
             self.package_index, self.clock, use_cache=use_cache
         )
+        self.fault_plan = None
         self._providers: dict[str, CloudProvider] = {}
         self._oslpm: dict[str, OsPackageManager] = {}
+
+    def set_fault_plan(self, plan) -> None:
+        """Install (or, with ``None``, remove) a
+        :class:`~repro.sim.faults.FaultPlan`.  Driver actions and
+        machine-level operations consult it before running."""
+        self.fault_plan = plan
+        self.downloads.fault_plan = plan
 
     # -- Machines ----------------------------------------------------------
 

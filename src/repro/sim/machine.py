@@ -83,6 +83,7 @@ class Machine:
         name: str,
         command: str = "",
         listen_ports: Sequence[int] = (),
+        instance_id: str = "",
     ) -> SimProcess:
         """Start a daemon; binds its listen ports on the network."""
         for port in listen_ports:
@@ -98,6 +99,7 @@ class Machine:
             command=command or name,
             listen_ports=tuple(listen_ports),
             started_at=self.clock.now,
+            instance_id=instance_id,
         )
         self._processes[pid] = process
         for port in listen_ports:
@@ -134,7 +136,9 @@ class Machine:
         old = self.process(pid)
         for port in old.listen_ports:
             self.network.unbind(self.hostname, port)
-        fresh = self.spawn_process(old.name, old.command, old.listen_ports)
+        fresh = self.spawn_process(
+            old.name, old.command, old.listen_ports, old.instance_id
+        )
         fresh.restarts = old.restarts + 1
         del self._processes[pid]
         return fresh

@@ -65,6 +65,14 @@ class OsPackageManager:
                     f"{self._machine.hostname}: package {name} requires "
                     f"{prerequisite} which is not installed"
                 )
+        plan = getattr(self._downloads, "fault_plan", None)
+        if plan is not None:
+            # Before any side effect: a faulted install is a clean no-op
+            # (the flaky-mirror failure mode), so a retry starts fresh.
+            plan.fire(
+                f"oslpm:{self._machine.hostname}:install:{name}",
+                self._machine.clock,
+            )
         existing = self._installed.get(name)
         if existing is not None:
             if existing.version == version:

@@ -104,6 +104,8 @@ class DownloadService:
         self._cache: set[tuple[str, str]] = set()
         self.downloads = 0
         self.cache_hits = 0
+        #: Optional FaultPlan consulted by OSLPM-level operations.
+        self.fault_plan = None
 
     def prefetch(self, name: str, version: str) -> None:
         """Warm the cache without advancing the clock (models a mirror

@@ -28,6 +28,11 @@ class SimProcess:
     state: ProcessState = ProcessState.RUNNING
     started_at: float = 0.0
     restarts: int = 0
+    #: The resource instance that spawned this process, when known, so
+    #: fault campaigns can be correlated back to spec instances.
+    instance_id: str = ""
+    #: How many times this process has crashed (injected or otherwise).
+    failures: int = 0
 
     def is_running(self) -> bool:
         return self.state == ProcessState.RUNNING
@@ -36,6 +41,7 @@ class SimProcess:
         """Simulate a crash (used for monitor/restart experiments)."""
         if self.state == ProcessState.RUNNING:
             self.state = ProcessState.FAILED
+            self.failures += 1
 
     def stop(self) -> None:
         self.state = ProcessState.STOPPED

@@ -45,6 +45,15 @@ class TestFaultInjector:
         assert len(records) == 1
         assert records[0].hostname == "chaos"
 
+    def test_records_carry_instance_id(self, system):
+        injector = FaultInjector(system, seed=5)
+        records = injector.inject(3)
+        assert records
+        for record in records:
+            assert record.instance_id in system.drivers
+            driver = system.driver(record.instance_id)
+            assert driver.process.name == record.process_name
+
     def test_deterministic_given_seed(self, registry, infrastructure,
                                       drivers, system):
         a = FaultInjector(system, seed=42).inject(3)

@@ -67,8 +67,21 @@ class TestStopInstances:
         with pytest.raises(GuardError):
             engine.stop_instances(system, {"tomcat"})
 
+    def test_report_has_makespan(self, engine, spec):
+        system = engine.deploy(spec)
+        report = engine.stop_instances(system, {"openmrs", "tomcat"})
+        assert report.makespan_seconds > 0.0
+        assert report.makespan_seconds <= report.sequential_seconds
+
 
 class TestUninstallInstances:
+    def test_report_has_makespan(self, engine, spec):
+        system = engine.deploy(spec)
+        engine.stop_instances(system, {"openmrs"})
+        report = engine.uninstall_instances(system, {"openmrs"})
+        assert report.makespan_seconds > 0.0
+        assert report.makespan_seconds <= report.sequential_seconds
+
     def test_selected_removal(self, engine, spec, infrastructure):
         system = engine.deploy(spec)
         engine.stop_instances(system, {"openmrs"})
