@@ -428,6 +428,20 @@ def _write_deploy_outcome(system, infrastructure, out: TextIO) -> None:
             f"recovered from {report.retries} failed attempt(s), "
             f"{report.total_backoff_seconds:.1f}s total backoff\n"
         )
+    if report is not None and report.jobs is not None:
+        jobs_label = "unbounded" if report.jobs == 0 else str(report.jobs)
+        speedup = (
+            report.sequential_seconds / report.makespan_seconds
+            if report.makespan_seconds > 0
+            else 1.0
+        )
+        out.write(
+            f"parallel deploy (jobs={jobs_label}): makespan "
+            f"{report.makespan_seconds:.1f}s vs sequential "
+            f"{report.sequential_seconds:.1f}s "
+            f"(speedup {speedup:.2f}x, critical path "
+            f"{report.critical_path_seconds:.1f}s)\n"
+        )
     out.write(
         f"simulated time: {infrastructure.clock.now / 60:.1f} minutes\n"
     )
@@ -468,7 +482,12 @@ def cmd_deploy(args, out: TextIO) -> int:
         )
         save_to = args.save or args.resume
         try:
-            system = engine.resume(journal, policy=policy)
+            system = engine.resume(
+                journal,
+                policy=policy,
+                jobs=args.jobs,
+                jobs_per_host=args.jobs_per_host,
+            )
         except DeploymentFailure as failure:
             _write_failure(failure, out)
             _save_bundle(
@@ -505,7 +524,12 @@ def cmd_deploy(args, out: TextIO) -> int:
     _install_chaos(args, infrastructure, out)
     deploy = DeploymentEngine(registry, infrastructure, drivers)
     try:
-        system = deploy.deploy(result.spec, policy=policy)
+        system = deploy.deploy(
+            result.spec,
+            policy=policy,
+            jobs=args.jobs,
+            jobs_per_host=args.jobs_per_host,
+        )
     except DeploymentFailure as failure:
         _write_failure(failure, out)
         if args.save:
@@ -622,6 +646,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=None, metavar="SECONDS",
         help="per-action simulated-time budget; hung actions are "
         "abandoned (and retried) after this long",
+    )
+    deploy.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="deploy with the event-driven parallel scheduler using N "
+        "simulated workers (0 = unbounded; default: serial)",
+    )
+    deploy.add_argument(
+        "--jobs-per-host", type=int, default=None, metavar="N",
+        help="with --jobs: at most N concurrent instances per target "
+        "machine",
     )
     deploy.add_argument(
         "--chaos-rate", type=float, default=0.0, metavar="RATE",

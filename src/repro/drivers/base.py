@@ -86,6 +86,19 @@ class ResourceDriver:
     def transition_for(self, action: str):
         return self.machine_spec.find(self.state, action)
 
+    def action_cost(self, action: str) -> float:
+        """Fixed simulated seconds this driver charges for ``action``
+        (handlers may consume more, e.g. downloads and unpacking)."""
+        return self.action_seconds.get(action, 1.0)
+
+    def estimated_cost(self, target: str) -> float:
+        """Lower-bound cost of driving from the current state to
+        ``target`` -- the parallel scheduler's critical-path estimate."""
+        return sum(
+            self.action_cost(transition.action)
+            for transition in self.machine_spec.path_to(self.state, target)
+        )
+
     #: Path of the per-machine audit log every action appends to.
     LOG_PATH = "/var/log/engage.log"
 
@@ -109,7 +122,7 @@ class ResourceDriver:
                 f"driver {type(self).__name__} does not implement "
                 f"action {action!r}"
             )
-        duration = self.action_seconds.get(action, 1.0)
+        duration = self.action_cost(action)
         clock = self.context.infrastructure.clock
         clock.advance(duration, f"{action}:{self.context.instance.id}")
         plan = getattr(self.context.infrastructure, "fault_plan", None)

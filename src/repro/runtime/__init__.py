@@ -28,6 +28,7 @@ from repro.runtime.provision import (
     provision_partial_spec,
 )
 from repro.runtime.retry import DEFAULT_CHAOS_POLICY, RetryPolicy
+from repro.runtime.scheduler import DagScheduler, execute_serial
 from repro.runtime.state import (
     JOURNAL_FORMAT,
     STATE_FORMAT,
@@ -48,8 +49,10 @@ __all__ = [
     "DEFAULT_CHAOS_POLICY",
     "DeployedSystem",
     "DeploymentEngine",
+    "DagScheduler",
     "DeploymentJournal",
     "DeploymentReport",
+    "execute_serial",
     "JOURNAL_FORMAT",
     "JournalEntry",
     "RetryPolicy",

@@ -12,9 +12,15 @@ The master computes the machine partial order
 (:meth:`~repro.core.instances.InstallSpec.machine_order`), splits the
 full spec into per-node specs (cross-machine links are dropped -- port
 values were already propagated globally, so slaves need no awareness of
-remote instances), and deploys machine by machine.  Machines in the same
-*wave* (no cross-dependency between them) could deploy in parallel; the
-report records both the sequential cost and the per-wave makespan.
+remote instances), and deploys wave by wave.  Machines in the same
+*wave* (no cross-dependency between them) deploy **concurrently** on the
+shared event clock: each slave runs inside an overlapping
+:class:`~repro.sim.clock.ClockSpan` anchored at the wave start, the
+master advances to the slowest slave's finish, and the report's
+``parallel_makespan_seconds`` is the measured wall-clock of the whole
+deployment.  ``jobs`` / ``jobs_per_host`` are forwarded to each slave
+engine, so intra-machine parallelism composes with the inter-machine
+waves.
 """
 
 from __future__ import annotations
@@ -139,26 +145,43 @@ class MasterCoordinator:
         self.infrastructure = infrastructure
         self.driver_registry = driver_registry
 
-    def deploy(self, spec: InstallSpec) -> MultiHostDeployment:
+    def deploy(
+        self,
+        spec: InstallSpec,
+        *,
+        jobs: Optional[int] = None,
+        jobs_per_host: Optional[int] = None,
+    ) -> MultiHostDeployment:
         per_node = split_spec(spec)
         waves = machine_waves(spec)
         report = MultiHostReport(waves=waves)
         slaves: dict[str, DeployedSystem] = {}
+        clock = self.infrastructure.clock
         for wave in waves:
-            wave_durations: list[float] = []
+            wave_started = clock.now
+            wave_finishes: list[float] = []
             for machine_id in wave:
                 engine = DeploymentEngine(
                     self.registry, self.infrastructure, self.driver_registry
                 )
-                started = self.infrastructure.clock.now
-                self._install_agent(
-                    engine, per_node[machine_id], report
-                )
-                slaves[machine_id] = engine.deploy(per_node[machine_id])
-                duration = self.infrastructure.clock.now - started
-                report.per_machine_seconds[machine_id] = duration
-                wave_durations.append(duration)
-            report.parallel_makespan_seconds += max(wave_durations, default=0.0)
+                # Same-wave slaves have no inter-dependencies, so each
+                # runs in its own span anchored at the wave start: their
+                # simulated timelines overlap even though the substrate
+                # executes them one after another.
+                span = clock.overlapping(wave_started)
+                with span:
+                    self._install_agent(engine, per_node[machine_id], report)
+                    slaves[machine_id] = engine.deploy(
+                        per_node[machine_id],
+                        jobs=jobs,
+                        jobs_per_host=jobs_per_host,
+                    )
+                report.per_machine_seconds[machine_id] = span.elapsed
+                wave_finishes.append(span.end)
+            wave_end = max(wave_finishes, default=wave_started)
+            # The spans above already account for the elapsed stretch.
+            clock.sync_to(wave_end)
+            report.parallel_makespan_seconds += wave_end - wave_started
         report.sequential_seconds = sum(report.per_machine_seconds.values())
         return MultiHostDeployment(spec, slaves, report)
 

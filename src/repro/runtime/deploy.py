@@ -8,10 +8,13 @@ state.  At this point, the system is defined to be deployed."
 Instances are processed in dependency order; before every transition the
 engine checks the transition's guard against the tracked states of the
 upstream and downstream neighbours, exactly as the runtime system of the
-paper does.  Besides the sequential simulated cost, the engine records
-per-instance durations and computes the *critical-path makespan* -- the
-wall-clock a maximally parallel deployment would need ("the process can
-be performed in parallel, as long as the dependency ordering is met").
+paper does.  Execution is delegated to :mod:`repro.runtime.scheduler`:
+the default serial strategy walks the order one instance at a time and
+reports the *counterfactual* critical-path makespan, while ``jobs=N``
+selects the event-driven DAG scheduler -- a ready queue dispatched to a
+bounded pool of simulated workers, so "the process can be performed in
+parallel, as long as the dependency ordering is met" becomes measured
+wall-clock rather than a post-hoc formula.
 """
 
 from __future__ import annotations
@@ -22,8 +25,6 @@ from typing import Optional
 from repro.core.errors import (
     ActionTimeout,
     DeploymentError,
-    DeploymentFailure,
-    EngageError,
     GuardError,
     TransientError,
 )
@@ -79,24 +80,68 @@ class ActionRecord:
 
 @dataclass
 class DeploymentReport:
-    """What a deploy/stop/uninstall pass did and what it cost."""
+    """What a deploy/stop/uninstall pass did and what it cost.
+
+    ``makespan_seconds`` is the counterfactual critical-path bound in
+    serial mode and the *measured* event-clock wall-time in parallel
+    mode (``jobs`` set); ``critical_path_seconds`` carries the bound in
+    both, so the two are directly comparable.
+    """
 
     actions: list[ActionRecord] = field(default_factory=list)
     sequential_seconds: float = 0.0
     makespan_seconds: float = 0.0
+    critical_path_seconds: float = 0.0
+    #: Worker bound of the pass: None = serial, 0 = unbounded parallel.
+    jobs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self._indexed_count = -1
+        self._by_instance: dict[str, list[ActionRecord]] = {}
+        self._failed_attempts = 0
+        self._backoff_total = 0.0
+
+    def _reindex(self) -> None:
+        """(Re)build the per-instance index and the attempt counters.
+
+        Keyed on ``len(actions)`` so appends (including merged reports)
+        invalidate lazily; repeated reads between mutations are O(1)
+        instead of rescanning the action list per call.
+        """
+        if self._indexed_count == len(self.actions):
+            return
+        by_instance: dict[str, list[ActionRecord]] = {}
+        failed = 0
+        backoff = 0.0
+        for action in self.actions:
+            by_instance.setdefault(action.instance_id, []).append(action)
+            if not action.succeeded:
+                failed += 1
+            backoff += action.backoff_seconds
+        self._by_instance = by_instance
+        self._failed_attempts = failed
+        self._backoff_total = backoff
+        self._indexed_count = len(self.actions)
+
+    def invalidate_caches(self) -> None:
+        """Force a reindex after in-place mutation (e.g. sorting)."""
+        self._indexed_count = -1
 
     def actions_for(self, instance_id: str) -> list[ActionRecord]:
-        return [a for a in self.actions if a.instance_id == instance_id]
+        self._reindex()
+        return list(self._by_instance.get(instance_id, ()))
 
     @property
     def retries(self) -> int:
         """How many action attempts failed (and so were retried or
         aborted the run)."""
-        return sum(1 for a in self.actions if not a.succeeded)
+        self._reindex()
+        return self._failed_attempts
 
     @property
     def total_backoff_seconds(self) -> float:
-        return sum(a.backoff_seconds for a in self.actions)
+        self._reindex()
+        return self._backoff_total
 
 
 class DeployedSystem:
@@ -176,6 +221,8 @@ class DeploymentEngine:
         *,
         policy: Optional[RetryPolicy] = None,
         journal: Optional[DeploymentJournal] = None,
+        jobs: Optional[int] = None,
+        jobs_per_host: Optional[int] = None,
     ) -> DeployedSystem:
         """Install, configure, and start everything; returns the deployed
         system with every driver in ``active``.
@@ -185,6 +232,11 @@ class DeploymentEngine:
         fatal failure the run stops at a consistent frontier and raises
         :class:`~repro.core.errors.DeploymentFailure` carrying the
         journal, from which :meth:`resume` can finish the job.
+
+        ``jobs`` selects the event-driven parallel scheduler with that
+        many simulated workers (``0`` = unbounded); ``jobs_per_host``
+        additionally bounds concurrency per target machine.  ``None``
+        (the default) keeps the serial strategy.
         """
         machines = self._resolve_machines(spec)
         drivers = self._create_drivers(spec, machines)
@@ -195,7 +247,8 @@ class DeploymentEngine:
             journal = DeploymentJournal(spec, target=ACTIVE)
         system.journal = journal
         system.report = self._drive(
-            system, ACTIVE, reverse=False, policy=policy, journal=journal
+            system, ACTIVE, reverse=False, policy=policy, journal=journal,
+            jobs=jobs, jobs_per_host=jobs_per_host,
         )
         return system
 
@@ -204,6 +257,8 @@ class DeploymentEngine:
         journal: DeploymentJournal,
         *,
         policy: Optional[RetryPolicy] = None,
+        jobs: Optional[int] = None,
+        jobs_per_host: Optional[int] = None,
     ) -> DeployedSystem:
         """Finish an interrupted deployment from its journal.
 
@@ -211,8 +266,10 @@ class DeploymentEngine:
         infrastructure (reattaching the processes of already-active
         services, exactly like :func:`repro.runtime.state.load_system`)
         and drives only the remaining work; already-completed instances
-        no-op.  Raises :class:`DeploymentFailure` again if the remaining
-        work fails too.
+        no-op.  Frontiers left by a parallel pass (completed instances
+        scattered across independent branches, not a topological prefix)
+        re-adopt the same way.  Raises :class:`DeploymentFailure` again
+        if the remaining work fails too.
         """
         from repro.runtime.state import adopt_states
 
@@ -226,6 +283,8 @@ class DeploymentEngine:
             reverse=False,
             policy=policy,
             journal=journal,
+            jobs=jobs,
+            jobs_per_host=jobs_per_host,
         )
         return system
 
@@ -289,79 +348,28 @@ class DeploymentEngine:
         only: Optional[set[str]] = None,
         policy: Optional[RetryPolicy] = None,
         journal: Optional[DeploymentJournal] = None,
+        jobs: Optional[int] = None,
+        jobs_per_host: Optional[int] = None,
     ) -> DeploymentReport:
         """Drive instances (all, or just ``only``) to ``target`` in
-        (reverse) dependency order, recording the critical-path makespan.
+        (reverse) dependency order.
 
-        On a fatal per-instance failure the pass stops at a consistent
-        frontier: the failed transition did not advance its driver, and
-        every instance after the failure point in the order -- which
-        includes all dependents of the failed instance -- is untouched.
+        Execution strategy lives in :mod:`repro.runtime.scheduler`:
+        serial fail-fast when ``jobs`` is None, the event-driven DAG
+        scheduler otherwise.
         """
-        report = DeploymentReport()
-        order = system.spec.topological_order()
-        if reverse:
-            order = list(reversed(order))
-        selected = [i for i in order if only is None or i.id in only]
-        finish_times: dict[str, float] = {}
-        clock = self.infrastructure.clock
-        for index, instance in enumerate(selected):
-            started = clock.now
-            try:
-                self._drive_instance(
-                    system,
-                    instance.id,
-                    target,
-                    report,
-                    policy=policy,
-                    journal=journal,
-                )
-            except GuardError:
-                # A guard violation is a protocol error by the caller
-                # (wrong closure, wrong order), not a deployment fault:
-                # propagate it unwrapped.
-                raise
-            except EngageError as exc:
-                self._finish_report(report, finish_times)
-                system.report = report
-                skipped = [other.id for other in selected[index + 1:]]
-                completed = (
-                    set(journal.completed)
-                    if journal is not None
-                    else {other.id for other in selected[:index]}
-                )
-                if journal is not None:
-                    journal.mark_failed(instance.id, str(exc))
-                    journal.mark_skipped(skipped)
-                raise DeploymentFailure(
-                    f"deployment stopped at {instance.id!r}: {exc}",
-                    journal=journal,
-                    completed=completed,
-                    failed={instance.id},
-                    skipped=skipped,
-                    report=report,
-                    system=system,
-                ) from exc
-            duration = clock.now - started
-            neighbour_finishes = [
-                finish_times.get(other, 0.0)
-                for other in (
-                    system.spec.downstream_ids(instance.id)
-                    if reverse
-                    else instance.upstream_ids()
-                )
-            ]
-            earliest = max(neighbour_finishes, default=0.0)
-            finish_times[instance.id] = earliest + duration
-        self._finish_report(report, finish_times)
-        return report
+        from repro.runtime.scheduler import DagScheduler, execute_serial
 
-    @staticmethod
-    def _finish_report(
-        report: DeploymentReport, finish_times: dict[str, float]
-    ) -> None:
-        report.sequential_seconds = sum(a.duration for a in report.actions)
-        report.makespan_seconds = max(finish_times.values(), default=0.0)
+        if jobs is None and jobs_per_host is None:
+            return execute_serial(
+                self, system, target, reverse=reverse, only=only,
+                policy=policy, journal=journal,
+            )
+        return DagScheduler(
+            self, system, target, reverse=reverse, only=only,
+            policy=policy, journal=journal,
+            jobs=jobs, jobs_per_host=jobs_per_host,
+        ).run()
 
     def _drive_instance(
         self,
@@ -518,12 +526,14 @@ class DeploymentEngine:
         instance_ids: set[str],
         *,
         policy: Optional[RetryPolicy] = None,
+        jobs: Optional[int] = None,
+        jobs_per_host: Optional[int] = None,
     ) -> DeploymentReport:
         """Drive just ``instance_ids`` to ``inactive``, in reverse
         dependency order, with guard checking."""
         return self._drive(
             system, INACTIVE, reverse=True, only=set(instance_ids),
-            policy=policy,
+            policy=policy, jobs=jobs, jobs_per_host=jobs_per_host,
         )
 
     def uninstall_instances(
@@ -532,12 +542,14 @@ class DeploymentEngine:
         instance_ids: set[str],
         *,
         policy: Optional[RetryPolicy] = None,
+        jobs: Optional[int] = None,
+        jobs_per_host: Optional[int] = None,
     ) -> DeploymentReport:
         """Drive just ``instance_ids`` to ``uninstalled`` (they must
         already be inactive), in reverse dependency order."""
         return self._drive(
             system, UNINSTALLED, reverse=True, only=set(instance_ids),
-            policy=policy,
+            policy=policy, jobs=jobs, jobs_per_host=jobs_per_host,
         )
 
     def activate(
@@ -545,9 +557,14 @@ class DeploymentEngine:
         system: DeployedSystem,
         *,
         policy: Optional[RetryPolicy] = None,
+        jobs: Optional[int] = None,
+        jobs_per_host: Optional[int] = None,
     ) -> DeploymentReport:
         """Drive everything to ``active``; already-active drivers no-op."""
-        report = self._drive(system, ACTIVE, reverse=False, policy=policy)
+        report = self._drive(
+            system, ACTIVE, reverse=False, policy=policy,
+            jobs=jobs, jobs_per_host=jobs_per_host,
+        )
         system.report = report
         return report
 
@@ -558,31 +575,48 @@ class DeploymentEngine:
         system: DeployedSystem,
         *,
         policy: Optional[RetryPolicy] = None,
+        jobs: Optional[int] = None,
+        jobs_per_host: Optional[int] = None,
     ) -> DeploymentReport:
         """Stop all services in reverse dependency order (S5.2)."""
-        return self._drive(system, INACTIVE, reverse=True, policy=policy)
+        return self._drive(
+            system, INACTIVE, reverse=True, policy=policy,
+            jobs=jobs, jobs_per_host=jobs_per_host,
+        )
 
     def start(
         self,
         system: DeployedSystem,
         *,
         policy: Optional[RetryPolicy] = None,
+        jobs: Optional[int] = None,
+        jobs_per_host: Optional[int] = None,
     ) -> DeploymentReport:
         """(Re)start everything in dependency order."""
-        return self._drive(system, ACTIVE, reverse=False, policy=policy)
+        return self._drive(
+            system, ACTIVE, reverse=False, policy=policy,
+            jobs=jobs, jobs_per_host=jobs_per_host,
+        )
 
     def uninstall(
         self,
         system: DeployedSystem,
         *,
         policy: Optional[RetryPolicy] = None,
+        jobs: Optional[int] = None,
+        jobs_per_host: Optional[int] = None,
     ) -> DeploymentReport:
         """Stop and uninstall everything, reverse dependency order."""
-        report = self._drive(system, INACTIVE, reverse=True, policy=policy)
+        report = self._drive(
+            system, INACTIVE, reverse=True, policy=policy,
+            jobs=jobs, jobs_per_host=jobs_per_host,
+        )
         removal = self._drive(
-            system, UNINSTALLED, reverse=True, policy=policy
+            system, UNINSTALLED, reverse=True, policy=policy,
+            jobs=jobs, jobs_per_host=jobs_per_host,
         )
         report.actions.extend(removal.actions)
         report.sequential_seconds += removal.sequential_seconds
         report.makespan_seconds += removal.makespan_seconds
+        report.critical_path_seconds += removal.critical_path_seconds
         return report

@@ -94,6 +94,18 @@ class DeploymentJournal:
         self.failed.clear()
         self.skipped.clear()
 
+    def sort_entries_by_time(self) -> None:
+        """Order entries by completion timestamp.
+
+        A parallel pass appends entries in dispatch order, which
+        interleaves worker timelines arbitrarily; sorting by timestamp
+        (stable, so each instance's per-entry order survives) restores
+        the global completion order the serial engine produces
+        naturally.  :meth:`states` folds per instance, so the frontier
+        is unchanged either way.
+        """
+        self.entries.sort(key=lambda entry: entry.timestamp)
+
     # -- Derived views ---------------------------------------------------
 
     def states(self) -> dict[str, str]:

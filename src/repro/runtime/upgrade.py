@@ -77,6 +77,8 @@ class UpgradeEngine:
         deployment_engine: DeploymentEngine,
         *,
         retry_policy: Optional[RetryPolicy] = None,
+        jobs: Optional[int] = None,
+        jobs_per_host: Optional[int] = None,
     ) -> None:
         self._config = config_engine
         self._deploy = deployment_engine
@@ -84,6 +86,17 @@ class UpgradeEngine:
         #: including the rollback redeploy, so a transient fault during
         #: recovery does not turn a failed upgrade into a lost system.
         self._retry_policy = retry_policy
+        #: Worker bounds forwarded to every deployment pass (stop,
+        #: uninstall, redeploy, rollback) -- None keeps them serial.
+        self._jobs = jobs
+        self._jobs_per_host = jobs_per_host
+
+    def _pass_kwargs(self) -> dict:
+        return {
+            "policy": self._retry_policy,
+            "jobs": self._jobs,
+            "jobs_per_host": self._jobs_per_host,
+        }
 
     def upgrade(
         self,
@@ -126,9 +139,9 @@ class UpgradeEngine:
         try:
             if strategy == "replace":
                 # Stop and remove the old system (worst-case strategy).
-                self._deploy.uninstall(system, policy=self._retry_policy)
+                self._deploy.uninstall(system, **self._pass_kwargs())
                 new_system = self._deploy.deploy(
-                    new_spec, policy=self._retry_policy
+                    new_spec, **self._pass_kwargs()
                 )
             else:
                 new_system = self._upgrade_in_place(system, new_spec, diff)
@@ -178,12 +191,10 @@ class UpgradeEngine:
 
         # 1. Stop the closure (reverse dependency order, guards hold
         #    because the closure is downstream-closed).
-        self._deploy.stop_instances(
-            system, closure, policy=self._retry_policy
-        )
+        self._deploy.stop_instances(system, closure, **self._pass_kwargs())
         # 2. Uninstall removed and changed instances.
         self._deploy.uninstall_instances(
-            system, to_remove, policy=self._retry_policy
+            system, to_remove, **self._pass_kwargs()
         )
 
         # 3. Build the new system, reusing live drivers for everything
@@ -198,7 +209,7 @@ class UpgradeEngine:
         new_system = self._deploy.prepare(new_spec, reuse_drivers=reuse)
         # 4. Install what is new/changed and restart the closure, in
         #    dependency order (already-active drivers no-op).
-        self._deploy.activate(new_system, policy=self._retry_policy)
+        self._deploy.activate(new_system, **self._pass_kwargs())
         return new_system
 
     def _rollback(
@@ -214,7 +225,7 @@ class UpgradeEngine:
             machine.restore(backup["machine"])
             infrastructure.package_manager(machine).restore(backup["packages"])
         try:
-            return self._deploy.deploy(old_spec, policy=self._retry_policy)
+            return self._deploy.deploy(old_spec, **self._pass_kwargs())
         except DeploymentError as exc:  # pragma: no cover - defensive
             raise UpgradeError(
                 f"rollback failed after upgrade failure: {exc}"

@@ -4,11 +4,21 @@ All time in the simulated substrate flows through a :class:`SimClock`:
 downloads, package installs, service startup delays, and provisioning all
 ``advance`` it.  Benchmarks read simulated durations off the clock, which
 makes the cached-vs-internet install experiment (E4) deterministic.
+
+Besides the plain monotonic mode, the clock has an *event-queue* mode
+used by the parallel deployment scheduler
+(:mod:`repro.runtime.scheduler`): callers :meth:`schedule` future
+completion events and :meth:`advance_to_next_event` jumps straight to
+the earliest one, while :meth:`overlapping` spans let several logical
+workers each accumulate simulated time from a common start instant --
+the substrate is single-threaded, but the *timelines* overlap.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import heapq
+from dataclasses import dataclass
+from typing import Any, Optional
 
 from repro.core.errors import SimulationError
 
@@ -22,12 +32,61 @@ class ClockEvent:
     label: str
 
 
+@dataclass
+class ScheduledEvent:
+    """A future event on the queue (event-queue mode).
+
+    ``seq`` is the deterministic tie-breaker: two events at the same
+    simulated instant pop in the order they were scheduled, so schedules
+    are bit-reproducible.
+    """
+
+    at: float
+    seq: int
+    label: str = ""
+    payload: Any = None
+
+
+class ClockSpan:
+    """A scoped, possibly-overlapping stretch of simulated work.
+
+    Entering the span rewinds ``now`` to ``start``; everything the block
+    advances accumulates from there; leaving restores ``now`` to where
+    it was, with the block's extent available as ``elapsed`` / ``end``.
+    This is how logically-concurrent workers share one single-threaded
+    clock: each executes in its own span from the common dispatch
+    instant, and the scheduler's event queue decides which completion
+    the world observes next.  Spans nest (a coordinator wave span may
+    contain a whole slave deployment, scheduler spans included).
+    """
+
+    def __init__(self, clock: "SimClock", start: float) -> None:
+        self._clock = clock
+        self._saved = start
+        self.start = start
+        self.end = start
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "ClockSpan":
+        self._saved = self._clock._now
+        self._clock._now = self.start
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = self._clock._now
+        self.elapsed = self.end - self.start
+        self._clock._now = self._saved
+        return False
+
+
 class SimClock:
     """Monotonic simulated time in seconds, with an event log."""
 
     def __init__(self) -> None:
         self._now = 0.0
         self._events: list[ClockEvent] = []
+        self._queue: list[tuple[float, int, ScheduledEvent]] = []
+        self._seq = 0
 
     @property
     def now(self) -> float:
@@ -44,11 +103,69 @@ class SimClock:
         if timestamp > self._now:
             self.advance(timestamp - self._now, label)
 
+    def sync_to(self, timestamp: float) -> None:
+        """Move ``now`` forward *without* logging a span.
+
+        Used when overlapping spans already account for the elapsed
+        stretch (logging it again would double-count the time in
+        :meth:`elapsed_by_label`).
+        """
+        if timestamp > self._now:
+            self._now = timestamp
+
+    # -- Event-queue mode ------------------------------------------------
+
+    def schedule(
+        self, at: float, label: str = "", payload: Any = None
+    ) -> ScheduledEvent:
+        """Enqueue an event at absolute time ``at`` (clamped to now)."""
+        event = ScheduledEvent(max(at, self._now), self._seq, label, payload)
+        self._seq += 1
+        heapq.heappush(self._queue, (event.at, event.seq, event))
+        return event
+
+    def advance_to_next_event(self) -> Optional[ScheduledEvent]:
+        """Pop the earliest scheduled event and jump ``now`` to it.
+
+        The jump itself is not logged: the stretch is covered by the
+        overlapping spans of whatever work the event completes.  Returns
+        ``None`` when the queue is empty.
+        """
+        if not self._queue:
+            return None
+        at, _, event = heapq.heappop(self._queue)
+        if at > self._now:
+            self._now = at
+        return event
+
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def overlapping(self, start: Optional[float] = None) -> ClockSpan:
+        """A span of work logically beginning at ``start`` (default now),
+        overlapping whatever else is in flight.  Use as a context
+        manager; read ``elapsed`` / ``end`` afterwards."""
+        return ClockSpan(self, self._now if start is None else start)
+
+    # -- Introspection ---------------------------------------------------
+
     def events(self) -> list[ClockEvent]:
-        return list(self._events)
+        """All recorded advances, ordered by start time.
+
+        Parallel passes append events out of time order (each worker
+        span logs with its own local timestamps), so the log is merged
+        by start on the way out; the sort is stable, preserving the
+        relative order of same-instant events.
+        """
+        return sorted(self._events, key=lambda event: event.start)
 
     def elapsed_by_label(self) -> dict[str, float]:
-        """Total simulated seconds per event label."""
+        """Total simulated seconds per event label.
+
+        Totals are order-independent, so interleaved parallel events sum
+        correctly; note that overlapping spans mean the grand total can
+        exceed wall-clock ``now`` (it is worker-seconds, not makespan).
+        """
         totals: dict[str, float] = {}
         for event in self._events:
             totals[event.label] = totals.get(event.label, 0.0) + event.duration
@@ -57,3 +174,5 @@ class SimClock:
     def reset(self) -> None:
         self._now = 0.0
         self._events.clear()
+        self._queue.clear()
+        self._seq = 0

@@ -62,6 +62,62 @@ class TestSplitSpec:
         for sub in split_spec(two_node_spec).values():
             sub.topological_order()  # must not raise
 
+    def test_instance_without_machine_context_is_own_group(
+        self, registry, infrastructure
+    ):
+        """A top-level instance with no ``inside`` link *is* its machine
+        context: it must land in its own sub-spec, keyed by its id."""
+        partial = PartialInstallSpec(
+            [
+                PartialInstance(
+                    "lonely", as_key("Ubuntu-Linux 10.04"),
+                    config={"hostname": "solo"},
+                ),
+            ]
+        )
+        partial = provision_partial_spec(registry, partial, infrastructure)
+        spec = ConfigurationEngine(registry).configure(partial).spec
+        per_node = split_spec(spec)
+        assert set(per_node) == {"lonely"}
+        assert set(per_node["lonely"].ids()) == set(spec.ids())
+
+    def test_cross_machine_links_dropped_exactly_once(self, two_node_spec):
+        """Each cross-machine link disappears from exactly one side (its
+        source); local links all survive, none are duplicated."""
+        machine_of = {
+            inst.id: inst.machine_id(two_node_spec)
+            for inst in two_node_spec
+        }
+        cross = sum(
+            1
+            for inst in two_node_spec
+            for link in inst.links()
+            if machine_of[link.target.id] != machine_of[inst.id]
+        )
+        assert cross > 0  # openmrs -> db spans machines
+        total_before = sum(
+            len(list(inst.links())) for inst in two_node_spec
+        )
+        total_after = sum(
+            len(list(inst.links()))
+            for sub in split_spec(two_node_spec).values()
+            for inst in sub
+        )
+        assert total_after == total_before - cross
+
+    def test_single_machine_spec_round_trips_unchanged(
+        self, registry, openmrs_partial
+    ):
+        """Splitting a single-machine spec must return that spec's
+        instances verbatim -- links, inputs and outputs untouched."""
+        spec = ConfigurationEngine(registry).configure(openmrs_partial).spec
+        per_node = split_spec(spec)
+        assert set(per_node) == {"server"}
+        sub = per_node["server"]
+        assert list(sub.ids()) == list(spec.ids())
+        for instance in spec:
+            assert sub[instance.id] == instance
+
 
 class TestWaves:
     def test_db_before_app(self, two_node_spec):
@@ -137,6 +193,48 @@ class TestMasterCoordinator:
         # Redeploy on the same machines: agents already present.
         second = coordinator.deploy(two_node_spec)
         assert second.report.agents_installed == []
+
+    def test_same_wave_machines_deploy_concurrently(
+        self, registry, infrastructure, drivers
+    ):
+        """Two independent machines share a wave, so the measured
+        multi-host makespan beats the per-machine sum."""
+        partial = PartialInstallSpec(
+            [
+                PartialInstance("a", as_key("Ubuntu-Linux 10.04"),
+                                config={"hostname": "a"}),
+                PartialInstance("b", as_key("Ubuntu-Linux 10.04"),
+                                config={"hostname": "b"}),
+                PartialInstance("db_a", as_key("MySQL 5.1"), inside_id="a"),
+                PartialInstance("db_b", as_key("MySQL 5.1"), inside_id="b"),
+            ]
+        )
+        partial = provision_partial_spec(registry, partial, infrastructure)
+        spec = ConfigurationEngine(registry).configure(partial).spec
+        coordinator = MasterCoordinator(registry, infrastructure, drivers)
+        started = infrastructure.clock.now
+        deployment = coordinator.deploy(spec)
+        report = deployment.report
+        assert deployment.is_deployed()
+        assert (
+            report.parallel_makespan_seconds
+            < report.sequential_seconds - 1e-6
+        )
+        # The wall clock advanced by the parallel makespan, not the sum.
+        assert infrastructure.clock.now - started == pytest.approx(
+            report.parallel_makespan_seconds, abs=1e-6
+        )
+
+    def test_jobs_forwarded_to_slaves(
+        self, registry, infrastructure, drivers, two_node_spec
+    ):
+        """Intra-machine parallelism composes with machine waves: the
+        slaves' reports carry the forwarded worker bound."""
+        coordinator = MasterCoordinator(registry, infrastructure, drivers)
+        deployment = coordinator.deploy(two_node_spec, jobs=4)
+        assert deployment.is_deployed()
+        for slave in deployment.slaves.values():
+            assert slave.report.jobs == 4
 
     def test_shutdown_reverse_waves(
         self, registry, infrastructure, drivers, two_node_spec

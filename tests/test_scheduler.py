@@ -1,0 +1,384 @@
+"""The event-driven parallel deployment scheduler.
+
+Core properties: bit-reproducible schedules, measured makespan equal to
+the critical-path bound under unbounded workers, worker/per-host bounds
+respected, and -- the chaos-parity property -- a completed/failed/skipped
+partition (and journal frontier) that does not depend on the worker
+count.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.config import ConfigurationEngine
+from repro.core import PartialInstallSpec, PartialInstance, as_key
+from repro.core.errors import DeploymentFailure
+from repro.drivers import ACTIVE, INACTIVE, UNINSTALLED
+from repro.library import (
+    standard_drivers,
+    standard_infrastructure,
+    standard_registry,
+)
+from repro.runtime import DeploymentEngine, RetryPolicy
+from repro.sim import FaultPlan, FaultyWorld, SimClock
+
+
+def openmrs_partial():
+    return PartialInstallSpec(
+        [
+            PartialInstance(
+                "server",
+                as_key("Mac-OSX 10.6"),
+                config={"hostname": "demotest", "os_user_name": "root"},
+            ),
+            PartialInstance(
+                "tomcat", as_key("Tomcat 6.0.18"), inside_id="server"
+            ),
+            PartialInstance(
+                "openmrs", as_key("OpenMRS 1.8"), inside_id="tomcat"
+            ),
+        ]
+    )
+
+
+def build_world():
+    registry = standard_registry()
+    infrastructure = standard_infrastructure()
+    drivers = standard_drivers()
+    spec = ConfigurationEngine(registry).configure(openmrs_partial()).spec
+    engine = DeploymentEngine(registry, infrastructure, drivers)
+    return infrastructure, engine, spec
+
+
+def schedule_of(report):
+    """The observable schedule: who ran what, when, for how long."""
+    return [
+        (a.instance_id, a.action, a.attempt, a.started_at, a.duration)
+        for a in report.actions
+    ]
+
+
+class TestMeasuredMakespan:
+    def test_unbounded_matches_critical_path_bound(self):
+        """Acceptance criterion: with enough workers the measured
+        makespan *is* the critical path, to float equality."""
+        _, engine, spec = build_world()
+        system = engine.deploy(spec, jobs=0)
+        report = system.report
+        assert report.makespan_seconds == pytest.approx(
+            report.critical_path_seconds, abs=1e-6
+        )
+        assert system.is_deployed()
+
+    def test_parallel_strictly_beats_sequential(self):
+        """OpenMRS has independent siblings (jre/mysql/tomcat under one
+        server), so parallelism must shave real simulated time."""
+        _, engine, spec = build_world()
+        system = engine.deploy(spec, jobs=4)
+        report = system.report
+        assert report.makespan_seconds < report.sequential_seconds
+        assert report.jobs == 4
+
+    def test_single_worker_degenerates_to_sequential(self):
+        _, engine, spec = build_world()
+        system = engine.deploy(spec, jobs=1)
+        report = system.report
+        assert report.makespan_seconds == pytest.approx(
+            report.sequential_seconds, abs=1e-6
+        )
+
+    def test_matches_serial_counterfactual_prediction(self):
+        """The serial engine predicts a critical-path makespan as a
+        counterfactual; the parallel engine must *measure* the same
+        number."""
+        _, serial_engine, spec = build_world()
+        predicted = serial_engine.deploy(spec).report.makespan_seconds
+        _, parallel_engine, spec = build_world()
+        measured = parallel_engine.deploy(spec, jobs=0).report
+        assert measured.makespan_seconds == pytest.approx(
+            predicted, abs=1e-6
+        )
+
+    def test_simulated_clock_advances_by_makespan(self):
+        infrastructure, engine, spec = build_world()
+        before = infrastructure.clock.now
+        system = engine.deploy(spec, jobs=0)
+        elapsed = infrastructure.clock.now - before
+        assert elapsed == pytest.approx(
+            system.report.makespan_seconds, abs=1e-6
+        )
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("jobs", [0, 1, 2, 4])
+    def test_bit_identical_schedules(self, jobs):
+        """Acceptance criterion: repeated runs with the same ``jobs``
+        produce identical (instance, action, start, duration) tuples."""
+        _, engine_a, spec_a = build_world()
+        first = engine_a.deploy(spec_a, jobs=jobs)
+        _, engine_b, spec_b = build_world()
+        second = engine_b.deploy(spec_b, jobs=jobs)
+        assert schedule_of(first.report) == schedule_of(second.report)
+
+    def test_end_state_independent_of_jobs(self):
+        states = []
+        for jobs in (None, 1, 2, 0):
+            _, engine, spec = build_world()
+            system = (
+                engine.deploy(spec)
+                if jobs is None
+                else engine.deploy(spec, jobs=jobs)
+            )
+            states.append(system.states())
+        assert all(s == states[0] for s in states[1:])
+
+    def test_dependency_order_respected(self):
+        _, engine, spec = build_world()
+        system = engine.deploy(spec, jobs=0)
+        starts = {
+            a.instance_id: a.started_at
+            for a in system.report.actions
+            if a.action == "start"
+        }
+        installs = {
+            a.instance_id: a.started_at
+            for a in system.report.actions
+            if a.action == "install" and a.attempt == 1
+        }
+        for instance in spec:
+            for upstream in instance.upstream_ids():
+                # A dependent cannot begin installing before every
+                # upstream has *started* (reached ACTIVE).
+                assert installs[instance.id] >= starts[upstream] - 1e-9
+
+
+class TestConcurrencyBounds:
+    @staticmethod
+    def peak_concurrency(report):
+        """Maximum number of simultaneously-running actions."""
+        boundaries = []
+        for action in report.actions:
+            boundaries.append((action.started_at, 1))
+            boundaries.append((action.started_at + action.duration, -1))
+        boundaries.sort()
+        live = peak = 0
+        for _, delta in boundaries:
+            live += delta
+            peak = max(peak, live)
+        return peak
+
+    def test_global_worker_bound_respected(self):
+        _, engine, spec = build_world()
+        system = engine.deploy(spec, jobs=2)
+        assert self.peak_concurrency(system.report) <= 2
+
+    def test_per_host_bound_serialises_single_host_spec(self):
+        """All OpenMRS instances live on one machine, so
+        ``jobs_per_host=1`` forces a fully serial timeline even with
+        unbounded global workers."""
+        _, engine, spec = build_world()
+        system = engine.deploy(spec, jobs=0, jobs_per_host=1)
+        report = system.report
+        assert self.peak_concurrency(report) == 1
+        assert report.makespan_seconds == pytest.approx(
+            report.sequential_seconds, abs=1e-6
+        )
+
+    def test_reverse_passes_accept_jobs(self):
+        _, engine, spec = build_world()
+        system = engine.deploy(spec, jobs=0)
+        engine.shutdown(system, jobs=0)
+        assert set(system.states().values()) == {INACTIVE}
+        engine.start(system, jobs=0)
+        engine.uninstall(system, jobs=0)
+        assert set(system.states().values()) == {UNINSTALLED}
+
+
+class TestChaosParity:
+    """Satellite: the completed/failed/skipped partition and the journal
+    frontier must be identical for ``jobs=1`` and ``jobs=4`` under the
+    same seeded fault plan."""
+
+    @staticmethod
+    def chaos_outcome(jobs, seed, rate):
+        infrastructure, engine, spec = build_world()
+        plan = FaultPlan.seeded(seed, rate, max_failures=2)
+        FaultyWorld(infrastructure, plan)
+        policy = RetryPolicy(max_attempts=2, backoff_base=0.1)
+        try:
+            system = engine.deploy(spec, policy=policy, jobs=jobs)
+            return ("deployed", system.states(), None)
+        except DeploymentFailure as failure:
+            partition = (
+                frozenset(failure.completed),
+                frozenset(failure.failed),
+                frozenset(failure.skipped),
+            )
+            return ("failed", partition, failure.journal.states())
+
+    @pytest.mark.parametrize(
+        "seed,rate", list(itertools.product([1, 2, 3, 5], [0.25, 0.6]))
+    )
+    def test_partition_independent_of_worker_count(self, seed, rate):
+        assert self.chaos_outcome(1, seed, rate) == self.chaos_outcome(
+            4, seed, rate
+        )
+
+
+class TestParallelFailureSemantics:
+    def test_only_dependent_subtree_skipped(self):
+        """Unlike the serial fail-fast engine, a parallel pass finishes
+        independent branches: mysql's failure skips openmrs only."""
+        infrastructure, engine, spec = build_world()
+        plan = FaultPlan().on("driver:mysql:start", times=10)
+        FaultyWorld(infrastructure, plan)
+        policy = RetryPolicy(max_attempts=2, backoff_base=0.1)
+        with pytest.raises(DeploymentFailure) as excinfo:
+            engine.deploy(spec, policy=policy, jobs=4)
+        failure = excinfo.value
+        assert failure.failed == {"mysql"}
+        assert set(failure.skipped) == {"openmrs"}
+        assert failure.completed == {"server", "jre", "tomcat"}
+        # The failed instance stopped mid-path (installed, not started);
+        # its dependents were never acted on.
+        system = failure.system
+        assert system.state_of("mysql") == INACTIVE
+        assert system.state_of("openmrs") == UNINSTALLED
+        assert system.state_of("tomcat") == ACTIVE
+        # Journal agrees.
+        journal = failure.journal
+        assert set(journal.failed) == {"mysql"}
+        assert journal.skipped == {"openmrs"}
+        assert journal.completed == failure.completed
+
+    def test_journal_entries_ordered_by_completion_time(self):
+        infrastructure, engine, spec = build_world()
+        from repro.runtime import DeploymentJournal
+
+        journal = DeploymentJournal(spec)
+        engine.deploy(spec, journal=journal, jobs=0)
+        stamps = [entry.timestamp for entry in journal.entries]
+        assert stamps == sorted(stamps)
+
+    def test_resume_readopts_parallel_frontier(self):
+        """A resume (itself parallel) picks up exactly the remaining
+        subtree and converges to the fault-free end state."""
+        infrastructure, engine, spec = build_world()
+        plan = FaultPlan().on("driver:mysql:start", times=3)
+        FaultyWorld(infrastructure, plan)
+        with pytest.raises(DeploymentFailure) as excinfo:
+            engine.deploy(
+                spec,
+                policy=RetryPolicy(max_attempts=2, backoff_base=0.1),
+                jobs=4,
+            )
+        journal = excinfo.value.journal
+        system = engine.resume(
+            journal,
+            policy=RetryPolicy(max_attempts=4, backoff_base=0.1),
+            jobs=4,
+        )
+        assert system.is_deployed()
+        assert journal.is_complete()
+        assert not journal.failed and not journal.skipped
+        # Only the unfinished subtree was re-driven.
+        resumed = {a.instance_id for a in system.report.actions}
+        assert "server" not in resumed and "tomcat" not in resumed
+        assert {"mysql", "openmrs"} <= resumed
+
+    def test_report_caches_survive_parallel_sort(self):
+        """Satellite: actions_for / retries are index-backed; the
+        post-pass sort must invalidate and rebuild them correctly."""
+        infrastructure, engine, spec = build_world()
+        plan = FaultPlan.seeded(2, 0.6, max_failures=2)
+        FaultyWorld(infrastructure, plan)
+        policy = RetryPolicy(max_attempts=4, backoff_base=0.1)
+        system = engine.deploy(spec, policy=policy, jobs=4)
+        report = system.report
+        for instance in spec:
+            expected = [
+                a for a in report.actions if a.instance_id == instance.id
+            ]
+            assert report.actions_for(instance.id) == expected
+        assert report.retries == sum(
+            1 for a in report.actions if not a.succeeded
+        )
+        assert report.total_backoff_seconds == pytest.approx(
+            sum(a.backoff_seconds for a in report.actions)
+        )
+
+
+class TestEventClock:
+    """Satellite: the SimClock event-queue mode and the time-sorted
+    event log for interleaved parallel spans."""
+
+    def test_schedule_pops_in_time_order(self):
+        clock = SimClock()
+        clock.schedule(30.0, label="late")
+        clock.schedule(10.0, label="early")
+        clock.schedule(20.0, label="middle")
+        order = []
+        while (event := clock.advance_to_next_event()) is not None:
+            order.append((event.label, clock.now))
+        assert order == [("early", 10.0), ("middle", 20.0), ("late", 30.0)]
+
+    def test_same_instant_ties_break_by_schedule_order(self):
+        clock = SimClock()
+        clock.schedule(5.0, label="first")
+        clock.schedule(5.0, label="second")
+        assert clock.advance_to_next_event().label == "first"
+        assert clock.advance_to_next_event().label == "second"
+
+    def test_schedule_clamps_to_now(self):
+        clock = SimClock()
+        clock.advance(100.0)
+        event = clock.schedule(7.0, label="past")
+        assert event.at == 100.0
+
+    def test_events_sorted_by_start_across_overlapping_spans(self):
+        """Regression: two overlapping worker spans log out of order;
+        ``events()`` must merge them by start time."""
+        clock = SimClock()
+        clock.advance(10.0, "setup")
+        with clock.overlapping(10.0):
+            clock.advance(50.0, "worker-a")   # logged at start=10
+        with clock.overlapping(10.0):
+            clock.advance(5.0, "worker-b")    # logged at start=10
+            clock.advance(5.0, "worker-b2")   # logged at start=15
+        starts = [event.start for event in clock.events()]
+        assert starts == sorted(starts)
+        labels = [event.label for event in clock.events()]
+        # worker-b2 (start 15) must sort after both start-10 spans,
+        # despite being appended after worker-a's start-10 record.
+        assert labels.index("worker-b2") > labels.index("worker-a")
+
+    def test_elapsed_by_label_sums_interleaved_events(self):
+        clock = SimClock()
+        with clock.overlapping(0.0):
+            clock.advance(3.0, "download")
+            clock.advance(2.0, "install")
+        with clock.overlapping(0.0):
+            clock.advance(4.0, "download")
+        totals = clock.elapsed_by_label()
+        assert totals["download"] == pytest.approx(7.0)
+        assert totals["install"] == pytest.approx(2.0)
+
+    def test_overlapping_span_restores_now(self):
+        clock = SimClock()
+        clock.advance(8.0)
+        with clock.overlapping(2.0) as span:
+            clock.advance(10.0, "work")
+        assert span.start == 2.0
+        assert span.end == 12.0
+        assert span.elapsed == 10.0
+        assert clock.now == 8.0
+
+    def test_reset_clears_queue(self):
+        clock = SimClock()
+        clock.schedule(5.0)
+        clock.reset()
+        assert clock.pending_events() == 0
+        assert clock.advance_to_next_event() is None

@@ -50,6 +50,21 @@ def test_tutorial_deploy(shop_files, tmp_path):
     assert "orders" in output and "active" in output
 
 
+def test_tutorial_parallel_deploy_speedup():
+    """The --jobs walkthrough: same end state, measured makespan lands
+    below the sequential total (the numbers the tutorial quotes)."""
+    spec = STACKS / "openmrs.json"
+    assert spec.is_file()
+    code, serial_output = run(["deploy", str(spec)])
+    assert code == 0
+    assert "openmrs" in serial_output and "active" in serial_output
+    code, parallel_output = run(["deploy", str(spec), "--jobs", "4"])
+    assert code == 0
+    assert "parallel deploy (jobs=4)" in parallel_output
+    assert "makespan 361.5s vs sequential 515.2s" in parallel_output
+    assert "speedup 1.43x" in parallel_output
+
+
 def test_tutorial_configure_wires_queue(shop_files, tmp_path):
     import json
 
