@@ -7,7 +7,10 @@ the reproduction's equivalent, driving the whole pipeline from files:
 * ``configure``  expand a JSON partial spec to a full spec;
 * ``graph``      print the dependency hypergraph (Figure 5 style);
 * ``explain``    diagnose an unsatisfiable partial spec;
-* ``deploy``     configure and run a simulated deployment.
+* ``deploy``     configure and run a simulated deployment (optionally
+  traced: ``--trace FILE`` / ``--metrics``);
+* ``trace``      render a saved bundle as Chrome trace-event JSON, or
+  validate an existing trace file.
 
 Every command accepts ``--types FILE ...`` to load DSL resource files;
 by default the built-in standard library is preloaded (disable with
@@ -401,6 +404,32 @@ def _retry_policy_from_args(args):
     )
 
 
+def _install_tracer(args, infrastructure):
+    """A Tracer on the infrastructure when --trace/--metrics was given."""
+    if not (getattr(args, "trace", None) or getattr(args, "metrics", False)):
+        return None
+    from repro.obs import Tracer
+
+    tracer = Tracer(clock=infrastructure.clock)
+    infrastructure.set_tracer(tracer)
+    return tracer
+
+
+def _finish_trace(args, tracer, out: TextIO) -> None:
+    """Write the trace file and/or metrics summary after a deploy."""
+    if tracer is None:
+        return
+    if args.trace:
+        from repro.obs import write_trace
+
+        write_trace(args.trace, tracer)
+        out.write(
+            f"trace written to {args.trace} ({len(tracer)} events)\n"
+        )
+    if args.metrics:
+        out.write(tracer.metrics.render())
+
+
 def _install_chaos(args, infrastructure, out: TextIO) -> None:
     """Install a seeded fault plan when --chaos-rate was given."""
     if getattr(args, "chaos_rate", 0.0) > 0.0:
@@ -474,6 +503,7 @@ def cmd_deploy(args, out: TextIO) -> int:
                 "resume from\n"
             )
             return 2
+        tracer = _install_tracer(args, infrastructure)
         _install_chaos(args, infrastructure, out)
         engine = DeploymentEngine(registry, infrastructure, drivers)
         out.write(
@@ -495,8 +525,10 @@ def cmd_deploy(args, out: TextIO) -> int:
                 failure.journal,
             )
             out.write(f"resumable bundle saved to {save_to}\n")
+            _finish_trace(args, tracer, out)
             return 1
         _write_deploy_outcome(system, infrastructure, out)
+        _finish_trace(args, tracer, out)
         _save_bundle(
             save_to, registry, infrastructure, system, system.journal
         )
@@ -509,13 +541,16 @@ def cmd_deploy(args, out: TextIO) -> int:
     registry = _build_registry(args)
     partial = _read_partial(args.partial)
     infrastructure = standard_infrastructure()
+    tracer = _install_tracer(args, infrastructure)
     # Make sure DSL-defined packages have downloadable artifacts.
     _publish_missing_artifacts(registry, infrastructure)
     drivers = standard_drivers()
     drivers.set_fallback("service")
 
     partial = provision_partial_spec(registry, partial, infrastructure)
-    engine = ConfigurationEngine(registry, verify_registry=not args.no_verify)
+    engine = ConfigurationEngine(
+        registry, verify_registry=not args.no_verify, tracer=tracer
+    )
     result = engine.configure(partial)
     out.write(
         f"configured {len(result.spec)} instances from "
@@ -541,6 +576,7 @@ def cmd_deploy(args, out: TextIO) -> int:
                 f"resumable bundle saved to {args.save} "
                 f"(finish with: deploy --resume {args.save})\n"
             )
+        _finish_trace(args, tracer, out)
         return 1
     _write_deploy_outcome(system, infrastructure, out)
     if args.save:
@@ -548,7 +584,63 @@ def cmd_deploy(args, out: TextIO) -> int:
             args.save, registry, infrastructure, system, system.journal
         )
         out.write(f"bundle saved to {args.save}\n")
+    _finish_trace(args, tracer, out)
     return 0 if system.is_deployed() else 1
+
+
+def cmd_trace(args, out: TextIO) -> int:
+    """Render a saved bundle's history into a Chrome trace file, or
+    validate an existing trace file against the schema."""
+    import json
+
+    from repro.obs import (
+        chrome_trace,
+        trace_from_clock_events,
+        validate_chrome_trace,
+    )
+
+    if args.validate:
+        with open(args.validate, "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                out.write(f"invalid trace: not JSON ({exc})\n")
+                return 1
+        problems = validate_chrome_trace(payload)
+        if problems:
+            out.write("invalid Chrome trace:\n")
+            for problem in problems:
+                out.write(f"  {problem}\n")
+            return 1
+        out.write(
+            f"valid Chrome trace: "
+            f"{len(payload['traceEvents'])} events\n"
+        )
+        return 0
+
+    if not args.bundle:
+        out.write("error: a bundle is required (or use --validate)\n")
+        return 2
+    _, infrastructure, _, system, journal = _load_bundle(args.bundle)
+    host_of = {
+        instance.id: system.machine_for(instance.id).hostname
+        for instance in system.spec
+    }
+    events = trace_from_clock_events(
+        infrastructure.clock.events(),
+        journal_entries=journal.entries if journal is not None else (),
+        lane_of=host_of,
+    )
+    payload = chrome_trace(events, metadata={"bundle": args.bundle})
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, indent=1) + "\n")
+        out.write(
+            f"trace written to {args.output} ({len(events)} events)\n"
+        )
+    else:
+        out.write(json.dumps(payload, indent=1) + "\n")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -666,6 +758,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos-seed", type=int, default=0, metavar="SEED",
         help="seed for --chaos-rate fault decisions",
     )
+    deploy.add_argument(
+        "--trace", metavar="FILE",
+        help="write a Chrome trace-event JSON file of the deployment "
+        "(open in Perfetto or chrome://tracing)",
+    )
+    deploy.add_argument(
+        "--metrics", action="store_true",
+        help="print a plain-text metrics summary after the deployment",
+    )
 
     for name, help_text in (
         ("status", "show the state of a saved deployment"),
@@ -699,6 +800,25 @@ def build_parser() -> argparse.ArgumentParser:
     inject.add_argument("bundle", metavar="BUNDLE")
     inject.add_argument("instance", metavar="INSTANCE_ID")
 
+    trace = sub.add_parser(
+        "trace",
+        help="render a saved bundle as Chrome trace JSON, or validate "
+        "a trace file",
+    )
+    trace.add_argument(
+        "bundle", metavar="BUNDLE", nargs="?",
+        help="bundle file written by 'deploy --save'",
+    )
+    trace.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="write the trace here instead of stdout",
+    )
+    trace.add_argument(
+        "--validate", metavar="TRACE_FILE",
+        help="validate an existing Chrome trace JSON file instead of "
+        "rendering a bundle",
+    )
+
     render = sub.add_parser(
         "render", help="pretty-print loaded resource types as DSL"
     )
@@ -723,6 +843,7 @@ _COMMANDS = {
     "watch": cmd_watch,
     "upgrade": cmd_upgrade,
     "inject-fault": cmd_inject_fault,
+    "trace": cmd_trace,
     "render": cmd_render,
     "dimacs": cmd_dimacs,
 }

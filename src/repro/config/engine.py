@@ -100,6 +100,41 @@ def raise_unsatisfiable(
     raise UnsatisfiableError(message)
 
 
+def emit_config_trace(tracer, timings, cache=None) -> None:
+    """Emit one span per pipeline phase onto ``tracer``'s ``config`` lane.
+
+    Wall-clock milliseconds are mapped onto the simulated timeline as
+    seconds (ms -> s) so the spans are visible at trace scale; the real
+    measurement is preserved in each span's ``wall_ms`` argument and in
+    the ``config.<phase>_ms`` histograms.  Shared by the engine and the
+    session so both produce the same event shape.
+    """
+    if tracer is None:
+        return
+    start = tracer.clock.now if tracer.clock is not None else 0.0
+    for phase, wall_ms in (
+        ("configure:graph", timings.graph_ms),
+        ("configure:encode", timings.encode_ms),
+        ("configure:solve", timings.solve_ms),
+        ("configure:propagate", timings.propagate_ms),
+    ):
+        duration = wall_ms / 1000.0
+        tracer.span(
+            phase, category="config", start=start, duration=duration,
+            lane="config", wall_ms=round(wall_ms, 3),
+        )
+        name = phase.split(":", 1)[1]
+        tracer.metrics.histogram(f"config.{name}_ms").observe(wall_ms)
+        start += duration
+    if cache is not None:
+        tracer.instant(
+            "cache", category="config", timestamp=start, lane="config",
+            fingerprint=cache.fingerprint, graph_hit=cache.graph_hit,
+            cnf_hit=cache.cnf_hit, solver_reused=cache.solver_reused,
+            typecheck_skipped=cache.typecheck_skipped,
+        )
+
+
 class ConfigurationEngine:
     """Expands partial installation specifications to full ones."""
 
@@ -113,6 +148,7 @@ class ConfigurationEngine:
         verify_registry: bool = True,
         explain_unsat: bool = True,
         peer_policy: str = "colocate",
+        tracer=None,
     ) -> None:
         self._registry = registry
         self._encoding = encoding
@@ -120,6 +156,7 @@ class ConfigurationEngine:
         self._check_types = check_types
         self._explain_unsat = explain_unsat
         self._peer_policy = peer_policy
+        self._tracer = tracer
         if verify_registry:
             # Memoized on the registry: many engines over one registry
             # pay the full well-formedness sweep once.
@@ -167,6 +204,7 @@ class ConfigurationEngine:
         if self._check_types:
             check_spec(self._registry, spec)
         timings.propagate_ms = (time.perf_counter() - ticked) * 1000.0
+        emit_config_trace(self._tracer, timings)
         return ConfigurationResult(
             spec=spec,
             graph=graph,

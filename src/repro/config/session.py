@@ -52,6 +52,7 @@ from repro.config.engine import (
     ConfigurationResult,
     PhaseTimings,
     SessionCacheInfo,
+    emit_config_trace,
     raise_unsatisfiable,
 )
 from repro.config.fingerprint import fingerprint_partial
@@ -133,6 +134,7 @@ class ConfigurationSession:
         explain_unsat: bool = True,
         peer_policy: str = "colocate",
         max_entries: int = 1024,
+        tracer=None,
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
@@ -144,6 +146,7 @@ class ConfigurationSession:
         self._explain_unsat = explain_unsat
         self._peer_policy = peer_policy
         self._max_entries = max_entries
+        self._tracer = tracer
         self._entries: dict[str, _Entry] = {}
         self.stats = SessionStats()
         if verify_registry:
@@ -253,6 +256,7 @@ class ConfigurationSession:
             entry.verified_specs[outcome] = tuple(spec)
             self.stats.typecheck_runs += 1
         timings.propagate_ms = (time.perf_counter() - ticked) * 1000.0
+        emit_config_trace(self._tracer, timings, cache)
         return ConfigurationResult(
             spec=spec,
             graph=entry.graph,

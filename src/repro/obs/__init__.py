@@ -1,0 +1,47 @@
+"""Observability: structured tracing and metrics for deployment runs.
+
+The pieces:
+
+* :class:`Tracer` -- span + instant events with categories and
+  deterministic simulated-time timestamps, carried on
+  :class:`~repro.sim.infrastructure.Infrastructure` (``set_tracer``)
+  and emitted from the deployment engine, the DAG scheduler, the fault
+  plan, the monitor, the coordinator, and the configuration engine;
+* :class:`MetricsRegistry` -- counters and histograms (actions,
+  retries, backoff seconds, queue depth, per-host concurrency);
+* :func:`chrome_trace` / :func:`write_trace` -- Chrome trace-event
+  JSON export (Perfetto / ``chrome://tracing``), one thread lane per
+  simulated host;
+* :func:`validate_chrome_trace` -- the dependency-free schema check;
+* :func:`trace_from_clock_events` -- after-the-fact rendering of a
+  saved bundle's clock log + journal (``engage-sim trace``).
+
+The whole layer is zero-overhead when disabled: no tracer installed
+means every emitting site short-circuits on ``tracer is None`` and
+reports, journals, and CLI output are bit-identical to an untraced run.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_json,
+    trace_from_clock_events,
+    validate_chrome_trace,
+    write_trace,
+)
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.tracer import INSTANT, SPAN, TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "INSTANT",
+    "MetricsRegistry",
+    "SPAN",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "chrome_trace_json",
+    "trace_from_clock_events",
+    "validate_chrome_trace",
+    "write_trace",
+]

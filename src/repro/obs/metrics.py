@@ -1,0 +1,115 @@
+"""Counters and histograms for deployment runs.
+
+A :class:`MetricsRegistry` is the numeric side of the observability
+layer: where the tracer records *what happened when*, the registry
+aggregates *how much* -- actions performed, retries, backoff seconds
+waited, scheduler queue depths, per-host concurrency.  Like the tracer
+it costs nothing when not installed: sites only touch it behind the
+``tracer is not None`` guard.
+
+Histograms are summary-only (count/total/min/max); the simulated runs
+this instruments are small enough that percentile buckets would be
+noise, and the full distribution is recoverable from the trace events
+anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Summary statistics of an observed distribution."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """A flat namespace of counters and histograms, created on demand."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    def counters(self) -> list[Counter]:
+        return [self._counters[n] for n in sorted(self._counters)]
+
+    def histograms(self) -> list[Histogram]:
+        return [self._histograms[n] for n in sorted(self._histograms)]
+
+    def to_payload(self) -> dict[str, Any]:
+        """A JSON-ready snapshot (embedded in exported trace files)."""
+        return {
+            "counters": {c.name: c.value for c in self.counters()},
+            "histograms": {
+                h.name: {
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.minimum,
+                    "mean": h.mean,
+                    "max": h.maximum,
+                }
+                for h in self.histograms()
+            },
+        }
+
+    def render(self) -> str:
+        """The plain-text summary (``engage-sim deploy --metrics``)."""
+        lines = ["metrics:"]
+        for counter in self.counters():
+            lines.append(f"  {counter.name:<32} {counter.value}")
+        for histogram in self.histograms():
+            lines.append(
+                f"  {histogram.name:<32} count={histogram.count} "
+                f"total={histogram.total:.2f} min={histogram.minimum:.2f} "
+                f"mean={histogram.mean:.2f} max={histogram.maximum:.2f}"
+                if histogram.count
+                else f"  {histogram.name:<32} count=0"
+            )
+        if len(lines) == 1:
+            lines.append("  (no metrics recorded)")
+        return "\n".join(lines) + "\n"

@@ -157,7 +157,8 @@ class MasterCoordinator:
         report = MultiHostReport(waves=waves)
         slaves: dict[str, DeployedSystem] = {}
         clock = self.infrastructure.clock
-        for wave in waves:
+        tracer = self.infrastructure.tracer
+        for index, wave in enumerate(waves):
             wave_started = clock.now
             wave_finishes: list[float] = []
             for machine_id in wave:
@@ -178,10 +179,23 @@ class MasterCoordinator:
                     )
                 report.per_machine_seconds[machine_id] = span.elapsed
                 wave_finishes.append(span.end)
+                if tracer is not None:
+                    tracer.span(
+                        f"slave:{machine_id}", category="coordinator",
+                        start=wave_started, duration=span.elapsed,
+                        lane="coordinator", wave=index, machine=machine_id,
+                    )
             wave_end = max(wave_finishes, default=wave_started)
             # The spans above already account for the elapsed stretch.
             clock.sync_to(wave_end)
             report.parallel_makespan_seconds += wave_end - wave_started
+            if tracer is not None:
+                tracer.span(
+                    f"wave-{index}", category="coordinator",
+                    start=wave_started, duration=wave_end - wave_started,
+                    lane="coordinator", machines=list(wave),
+                )
+                tracer.metrics.counter("coordinator.waves").inc()
         report.sequential_seconds = sum(report.per_machine_seconds.values())
         return MultiHostDeployment(spec, slaves, report)
 

@@ -391,6 +391,14 @@ class DeploymentEngine:
             )
         if journal is not None and journal.target == target:
             journal.mark_completed(instance_id)
+            tracer = self.infrastructure.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "completed", category="journal",
+                    timestamp=self.infrastructure.clock.now,
+                    lane=system.machine_for(instance_id).hostname,
+                    instance=instance_id,
+                )
 
     def _perform_with_retry(
         self,
@@ -407,6 +415,7 @@ class DeploymentEngine:
         :class:`ActionRecord` per attempt; journals only success."""
         driver = system.driver(instance_id)
         clock = self.infrastructure.clock
+        tracer = self.infrastructure.tracer
         attempts = policy.max_attempts if policy is not None else 1
         timeout = policy.action_timeout if policy is not None else None
         for attempt in range(1, attempts + 1):
@@ -436,18 +445,19 @@ class DeploymentEngine:
                             backoff,
                             f"backoff:{instance_id}:{transition.action}",
                         )
-                report.actions.append(
-                    ActionRecord(
-                        instance_id=instance_id,
-                        action=transition.action,
-                        started_at=started,
-                        duration=duration,
-                        attempt=attempt,
-                        outcome=outcome,
-                        backoff_seconds=backoff,
-                        error=str(exc),
-                    )
+                record = ActionRecord(
+                    instance_id=instance_id,
+                    action=transition.action,
+                    started_at=started,
+                    duration=duration,
+                    attempt=attempt,
+                    outcome=outcome,
+                    backoff_seconds=backoff,
+                    error=str(exc),
                 )
+                report.actions.append(record)
+                if tracer is not None:
+                    self._trace_attempt(tracer, system, record)
                 if retrying:
                     continue
                 raise DeploymentError(
@@ -455,15 +465,16 @@ class DeploymentEngine:
                     f"{instance_id!r} (attempt {attempt} of {attempts}): "
                     f"{exc}"
                 ) from exc
-            report.actions.append(
-                ActionRecord(
-                    instance_id=instance_id,
-                    action=transition.action,
-                    started_at=started,
-                    duration=clock.now - started,
-                    attempt=attempt,
-                )
+            record = ActionRecord(
+                instance_id=instance_id,
+                action=transition.action,
+                started_at=started,
+                duration=clock.now - started,
+                attempt=attempt,
             )
+            report.actions.append(record)
+            if tracer is not None:
+                self._trace_attempt(tracer, system, record)
             if journal is not None:
                 journal.record(
                     JournalEntry(
@@ -474,7 +485,48 @@ class DeploymentEngine:
                         timestamp=clock.now,
                     )
                 )
+                if tracer is not None:
+                    tracer.instant(
+                        "record", category="journal", timestamp=clock.now,
+                        lane=system.machine_for(instance_id).hostname,
+                        instance=instance_id, action=transition.action,
+                        target=transition.target,
+                    )
             return
+
+    def _trace_attempt(
+        self, tracer, system: DeployedSystem, record: ActionRecord
+    ) -> None:
+        """One span per action attempt (plus a backoff span when the
+        policy waited), on the target machine's lane, mirroring the
+        :class:`ActionRecord` one-to-one."""
+        lane = system.machine_for(record.instance_id).hostname
+        args = {
+            "instance": record.instance_id,
+            "attempt": record.attempt,
+            "outcome": record.outcome,
+        }
+        if record.error is not None:
+            args["error"] = record.error
+        tracer.span(
+            record.action, category="action", start=record.started_at,
+            duration=record.duration, lane=lane, **args,
+        )
+        metrics = tracer.metrics
+        metrics.counter("deploy.actions").inc()
+        if not record.succeeded:
+            metrics.counter("deploy.failed_attempts").inc()
+        if record.backoff_seconds > 0.0:
+            metrics.histogram("deploy.backoff_seconds").observe(
+                record.backoff_seconds
+            )
+            tracer.span(
+                "backoff", category="backoff",
+                start=record.started_at + record.duration,
+                duration=record.backoff_seconds, lane=lane,
+                instance=record.instance_id, action=record.action,
+                attempt=record.attempt,
+            )
 
     def _check_guard(
         self, system: DeployedSystem, instance_id: str, transition

@@ -48,17 +48,26 @@ class JournalEntry:
     @classmethod
     def from_payload(cls, payload: dict) -> "JournalEntry":
         try:
-            return cls(
+            entry = cls(
                 instance_id=payload["instance_id"],
                 action=payload["action"],
                 source=payload["source"],
                 target=payload["target"],
                 timestamp=float(payload["timestamp"]),
             )
+            # float() above rejects bad timestamps; the string fields
+            # must be checked explicitly or a None/int instance id
+            # round-trips straight into the resume frontier.
+            for value in (
+                entry.instance_id, entry.action, entry.source, entry.target
+            ):
+                if not isinstance(value, str):
+                    raise TypeError(f"expected string, got {value!r}")
         except (KeyError, TypeError, ValueError) as exc:
             raise RuntimeEngageError(
                 f"malformed journal entry: {payload!r}"
             ) from exc
+        return entry
 
 
 class DeploymentJournal:
@@ -83,6 +92,11 @@ class DeploymentJournal:
         self.skipped.discard(instance_id)
 
     def mark_failed(self, instance_id: str, error: str) -> None:
+        # Symmetric with mark_completed: an instance that completed in
+        # an earlier pass and fails now must not stay in both partitions
+        # of the persisted payload.
+        self.completed.discard(instance_id)
+        self.skipped.discard(instance_id)
         self.failed[instance_id] = error
 
     def mark_skipped(self, instance_ids: Iterable[str]) -> None:

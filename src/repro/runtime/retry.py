@@ -49,6 +49,12 @@ class RetryPolicy:
             raise ValueError("max_attempts must be >= 1")
         if self.backoff_base < 0 or self.backoff_max < 0:
             raise ValueError("backoff durations must be non-negative")
+        if self.backoff_factor < 0:
+            # A negative factor flips the sign of every other backoff,
+            # which the engine would record as negative seconds in
+            # ActionRecord.backoff_seconds (the clock advance is
+            # guarded, the bookkeeping is not).
+            raise ValueError("backoff_factor must be non-negative")
         if not 0.0 <= self.jitter:
             raise ValueError("jitter must be non-negative")
 
@@ -59,9 +65,12 @@ class RetryPolicy:
         self, attempt: int, instance_id: str, action: str
     ) -> float:
         """Simulated seconds to wait after failed attempt ``attempt``."""
-        base = min(
-            self.backoff_base * self.backoff_factor ** (attempt - 1),
-            self.backoff_max,
+        base = max(
+            min(
+                self.backoff_base * self.backoff_factor ** (attempt - 1),
+                self.backoff_max,
+            ),
+            0.0,  # belt and braces: a wait can never be negative
         )
         if self.jitter <= 0.0 or base <= 0.0:
             return base

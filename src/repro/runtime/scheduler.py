@@ -214,6 +214,7 @@ class DagScheduler:
             else int(jobs_per_host)
         )
         self.clock = engine.infrastructure.clock
+        self.tracer = engine.infrastructure.tracer
         self.selected = _selected_instances(
             system, target, reverse=reverse, only=only
         )
@@ -287,6 +288,10 @@ class DagScheduler:
         failed: dict[str, str] = {}
 
         while True:
+            if self.tracer is not None:
+                self.tracer.metrics.histogram(
+                    "scheduler.ready_queue_depth"
+                ).observe(len(ready))
             running += self._dispatch_ready(
                 ready, backlog, per_host, running, report
             )
@@ -301,6 +306,13 @@ class DagScheduler:
             for item in backlog.pop(host, ()):
                 heapq.heappush(ready, item)
             tasks[task.instance_id] = task
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "complete" if task.error is None else "fail",
+                    category="scheduler", timestamp=self.clock.now,
+                    lane=self._lane(host), instance=task.instance_id,
+                    elapsed=task.elapsed,
+                )
             if task.error is None:
                 completed.add(task.instance_id)
                 for dependent in self.dependents[task.instance_id]:
@@ -310,12 +322,27 @@ class DagScheduler:
                             ready,
                             (-self.priority[dependent], dependent),
                         )
+                        if self.tracer is not None:
+                            self.tracer.instant(
+                                "ready", category="scheduler",
+                                timestamp=self.clock.now,
+                                lane=self._lane(self.host_of[dependent]),
+                                instance=dependent,
+                            )
             else:
                 failed[task.instance_id] = str(task.error)
                 if self.journal is not None:
                     self.journal.mark_failed(
                         task.instance_id, str(task.error)
                     )
+                    if self.tracer is not None:
+                        self.tracer.instant(
+                            "failed", category="journal",
+                            timestamp=self.clock.now,
+                            lane=self._lane(host),
+                            instance=task.instance_id,
+                            error=str(task.error),
+                        )
 
         self._finish_measured(report, tasks, pass_started)
         self.system.report = report
@@ -366,13 +393,30 @@ class DagScheduler:
                 continue
             self._dispatch(iid, report)
             per_host[host] = per_host.get(host, 0) + 1
+            if self.tracer is not None:
+                self.tracer.metrics.histogram(
+                    "scheduler.host_concurrency"
+                ).observe(per_host[host])
             started += 1
         return started
+
+    def _lane(self, machine_instance_id: str) -> str:
+        """Trace lane of a machine instance (its hostname, so scheduler
+        events line up with the engine's per-host action spans)."""
+        machine = self.system.machines.get(machine_instance_id)
+        return machine.hostname if machine is not None else machine_instance_id
 
     def _dispatch(self, iid: str, report: "DeploymentReport") -> None:
         """Execute one instance's transitions inside an overlapping span
         and schedule its completion event at the span's end."""
         start = self.clock.now
+        if self.tracer is not None:
+            self.tracer.instant(
+                "dispatch", category="scheduler", timestamp=start,
+                lane=self._lane(self.host_of[iid]), instance=iid,
+                priority=self.priority[iid],
+            )
+            self.tracer.metrics.counter("scheduler.dispatches").inc()
         span = self.clock.overlapping(start)
         error: Optional[EngageError] = None
         with span:

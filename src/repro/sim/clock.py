@@ -159,6 +159,11 @@ class SimClock:
         """
         return sorted(self._events, key=lambda event: event.start)
 
+    def restore_events(self, events: list[ClockEvent]) -> None:
+        """Replace the event log wholesale (world persistence: a loaded
+        world carries its original history, not one opaque advance)."""
+        self._events = list(events)
+
     def elapsed_by_label(self) -> dict[str, float]:
         """Total simulated seconds per event label.
 

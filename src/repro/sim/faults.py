@@ -109,6 +109,9 @@ class FaultPlan:
         self._max_failures = 1
         self._random_hang_seconds = 0.0
         self.records: list[InjectedFault] = []
+        #: Optional tracer, set by ``Infrastructure.set_fault_plan`` /
+        #: ``set_tracer``; injections emit instant events through it.
+        self.tracer = None
 
     # -- Construction ----------------------------------------------------
 
@@ -198,9 +201,7 @@ class FaultPlan:
                 state.remaining -= 1
                 state.fired += 1
                 clock.advance(timeout, f"fault-hang:{site}")
-                self.records.append(
-                    InjectedFault(clock.now, site, state.kind, state.fired)
-                )
+                self._record(site, state, clock)
                 raise ActionTimeout(
                     f"{site}: hung for {timeout:.1f}s "
                     f"(timeout budget exhausted)"
@@ -210,19 +211,26 @@ class FaultPlan:
             state.remaining -= 1
             state.fired += 1
             clock.advance(state.hang_seconds, f"fault-slow:{site}")
-            self.records.append(
-                InjectedFault(clock.now, site, state.kind, state.fired)
-            )
+            self._record(site, state, clock)
             return
         state.remaining -= 1
         state.fired += 1
-        self.records.append(
-            InjectedFault(clock.now, site, state.kind, state.fired)
-        )
+        self._record(site, state, clock)
         raise TransientError(
             f"{site}: injected transient fault "
             f"({state.fired} of {state.fired + state.remaining})"
         )
+
+    def _record(self, site: str, state: _SiteState, clock: SimClock) -> None:
+        self.records.append(
+            InjectedFault(clock.now, site, state.kind, state.fired)
+        )
+        if self.tracer is not None:
+            self.tracer.instant(
+                site, category="fault", timestamp=clock.now, lane="faults",
+                kind=state.kind.value, occurrence=state.fired,
+            )
+            self.tracer.metrics.counter("faults.injected").inc()
 
     def pending(self, site: str) -> int:
         """How many more faults this site would still fire (0 if none)."""

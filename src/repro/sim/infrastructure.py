@@ -30,6 +30,9 @@ class Infrastructure:
             self.package_index, self.clock, use_cache=use_cache
         )
         self.fault_plan = None
+        #: Optional :class:`~repro.obs.tracer.Tracer`.  ``None`` (the
+        #: default) keeps every emitting site on its untraced fast path.
+        self.tracer = None
         self._providers: dict[str, CloudProvider] = {}
         self._oslpm: dict[str, OsPackageManager] = {}
 
@@ -39,6 +42,17 @@ class Infrastructure:
         machine-level operations consult it before running."""
         self.fault_plan = plan
         self.downloads.fault_plan = plan
+        if plan is not None:
+            plan.tracer = self.tracer
+
+    def set_tracer(self, tracer) -> None:
+        """Install (or, with ``None``, remove) a
+        :class:`~repro.obs.tracer.Tracer`.  The engine, scheduler,
+        monitor, coordinator, and any installed fault plan emit
+        structured events through it."""
+        self.tracer = tracer
+        if self.fault_plan is not None:
+            self.fault_plan.tracer = tracer
 
     # -- Machines ----------------------------------------------------------
 

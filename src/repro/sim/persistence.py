@@ -21,6 +21,7 @@ import json
 from typing import Any
 
 from repro.core.errors import SimulationError
+from repro.sim.clock import ClockEvent
 from repro.sim.infrastructure import Infrastructure
 from repro.sim.machine import Machine, OsIdentity
 from repro.sim.oslpm import InstalledPackage
@@ -35,6 +36,10 @@ def save_world(infrastructure: Infrastructure) -> str:
     payload: dict[str, Any] = {
         "format": WORLD_FORMAT,
         "clock": infrastructure.clock.now,
+        "clock_events": [
+            [event.start, event.duration, event.label]
+            for event in infrastructure.clock.events()
+        ],
         "use_cache": infrastructure.downloads._use_cache,
         "download_counters": {
             "downloads": infrastructure.downloads.downloads,
@@ -135,7 +140,18 @@ def load_world(text: str) -> Infrastructure:
     infrastructure = Infrastructure(
         use_cache=payload.get("use_cache", True)
     )
-    infrastructure.clock.advance(payload["clock"], "world-load")
+    clock_events = payload.get("clock_events")
+    if clock_events is None:
+        # Pre-observability worlds: no event log, one opaque advance.
+        infrastructure.clock.advance(payload["clock"], "world-load")
+    else:
+        infrastructure.clock.restore_events(
+            [
+                ClockEvent(start, duration, label)
+                for start, duration, label in clock_events
+            ]
+        )
+        infrastructure.clock.sync_to(payload["clock"])
     counters = payload.get("download_counters", {})
     infrastructure.downloads.downloads = counters.get("downloads", 0)
     infrastructure.downloads.cache_hits = counters.get("cache_hits", 0)
