@@ -17,7 +17,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.core.errors import UnsatisfiableError
+from repro.core.errors import ConfigurationError, UnsatisfiableError
 from repro.core.instances import InstallSpec, PartialInstallSpec
 from repro.core.registry import ResourceTypeRegistry
 from repro.core.wellformed import assert_well_formed
@@ -27,6 +27,13 @@ from repro.config.constraints import (
     selected_nodes,
 )
 from repro.config.hypergraph import ResourceGraph, generate_graph
+from repro.config.partition import (
+    ComponentStats,
+    Partition,
+    PartitionInfo,
+    merge_component_specs,
+    partition_graph,
+)
 from repro.config.propagation import propagate
 from repro.config.typecheck import check_spec
 from repro.sat.cnf import CnfFormula
@@ -39,6 +46,8 @@ class PhaseTimings:
     """Wall-clock milliseconds spent in each pipeline phase."""
 
     graph_ms: float = 0.0
+    #: Connected-component split; 0 on the monolithic path.
+    partition_ms: float = 0.0
     encode_ms: float = 0.0
     solve_ms: float = 0.0
     propagate_ms: float = 0.0
@@ -46,8 +55,8 @@ class PhaseTimings:
     @property
     def total_ms(self) -> float:
         return (
-            self.graph_ms + self.encode_ms + self.solve_ms
-            + self.propagate_ms
+            self.graph_ms + self.partition_ms + self.encode_ms
+            + self.solve_ms + self.propagate_ms
         )
 
 
@@ -68,7 +77,10 @@ class ConfigurationResult:
 
     spec: InstallSpec
     graph: ResourceGraph
-    formula: CnfFormula
+    #: The monolithic CNF encoding; None on the partitioned path, which
+    #: builds one formula per component instead (their aggregated sizes
+    #: are in :attr:`constraint_stats` and match the monolithic ones).
+    formula: Optional[CnfFormula]
     model: dict[str, bool]
     constraint_stats: ConstraintStats
     solver_stats: SolverStats
@@ -76,6 +88,38 @@ class ConfigurationResult:
     timings: PhaseTimings = field(default_factory=PhaseTimings)
     #: Cache outcome when the result came from a session; None otherwise.
     cache: Optional[SessionCacheInfo] = None
+    #: Component sizes/timings when the partitioned pipeline ran.
+    partition: Optional[PartitionInfo] = None
+
+
+def canonical_model(
+    formula: CnfFormula,
+    solver: CdclSolver,
+    assumptions=(),
+) -> dict[int, bool]:
+    """A decode model that does not depend on solver heuristics/history.
+
+    The canonical model is the one found by static-order search: decide
+    variables in index order, preferring False.  Because clauses never
+    cross connected components, that search decomposes exactly over
+    components -- which is what makes partitioned and monolithic decode
+    bit-identical (see docs/INTERNALS.md).
+
+    A CDCL run that never conflicted *is* that search: VSIDS ties break
+    towards the lowest index while all activities are zero, and saved
+    phases start False (a warm conflict-free solver replays its previous
+    model under the same assumptions).  Only conflicted runs -- where
+    activity bumps and backjump phase flips can reorder decisions -- pay
+    a deterministic re-solve.
+    """
+    if solver.stats.conflicts == 0:
+        return solver.model()
+    deterministic = CdclSolver(formula, use_vsids=False, use_restarts=False)
+    if not deterministic.solve(list(assumptions)):
+        raise ConfigurationError(
+            "canonical re-solve found no model for a satisfiable formula"
+        )
+    return deterministic.model()
 
 
 def raise_unsatisfiable(
@@ -84,9 +128,15 @@ def raise_unsatisfiable(
     graph: ResourceGraph,
     *,
     explain: bool,
+    partition: bool = False,
 ) -> None:
     """Raise the Theorem 1 :class:`UnsatisfiableError`, optionally with a
-    minimal-conflict explanation (shared by engine and session)."""
+    minimal-conflict explanation (shared by engine and session).
+
+    ``partition`` selects the component-narrowed MUS computation in
+    :mod:`repro.config.explain`; the resulting diagnosis is byte-identical
+    to the monolithic one, just cheaper to compute.
+    """
     message = (
         "no full installation specification extends the partial "
         f"specification (over {len(graph)} candidate instances)"
@@ -94,13 +144,13 @@ def raise_unsatisfiable(
     if explain:
         from repro.config.explain import explain_unsat
 
-        explanation = explain_unsat(registry, partial)
+        explanation = explain_unsat(registry, partial, partition=partition)
         if explanation is not None:
             message += "\n" + explanation.message(graph)
     raise UnsatisfiableError(message)
 
 
-def emit_config_trace(tracer, timings, cache=None) -> None:
+def emit_config_trace(tracer, timings, cache=None, partition=None) -> None:
     """Emit one span per pipeline phase onto ``tracer``'s ``config`` lane.
 
     Wall-clock milliseconds are mapped onto the simulated timeline as
@@ -112,12 +162,16 @@ def emit_config_trace(tracer, timings, cache=None) -> None:
     if tracer is None:
         return
     start = tracer.clock.now if tracer.clock is not None else 0.0
-    for phase, wall_ms in (
+    phases = [
         ("configure:graph", timings.graph_ms),
+        ("configure:partition", timings.partition_ms),
         ("configure:encode", timings.encode_ms),
         ("configure:solve", timings.solve_ms),
         ("configure:propagate", timings.propagate_ms),
-    ):
+    ]
+    if partition is None:
+        phases.pop(1)  # monolithic path: keep the original span shape
+    for phase, wall_ms in phases:
         duration = wall_ms / 1000.0
         tracer.span(
             phase, category="config", start=start, duration=duration,
@@ -126,6 +180,28 @@ def emit_config_trace(tracer, timings, cache=None) -> None:
         name = phase.split(":", 1)[1]
         tracer.metrics.histogram(f"config.{name}_ms").observe(wall_ms)
         start += duration
+    if partition is not None:
+        # One span per component on its own sub-lane, so a fleet-sized
+        # configure shows where each machine group spent its time.
+        component_start = start
+        for component in partition.components:
+            wall_ms = (
+                component.encode_ms + component.solve_ms
+                + component.propagate_ms
+            )
+            duration = wall_ms / 1000.0
+            tracer.span(
+                f"configure:component[{component.index}]",
+                category="config", start=component_start, duration=duration,
+                lane="config", wall_ms=round(wall_ms, 3),
+                nodes=component.nodes, edges=component.edges,
+                pinned=component.pinned, decisions=component.decisions,
+                conflicts=component.conflicts,
+            )
+            tracer.metrics.histogram("config.component_ms").observe(wall_ms)
+            component_start += duration
+        tracer.metrics.histogram("config.components").observe(partition.count)
+        start = max(start, component_start)
     if cache is not None:
         tracer.instant(
             "cache", category="config", timestamp=start, lane="config",
@@ -136,7 +212,14 @@ def emit_config_trace(tracer, timings, cache=None) -> None:
 
 
 class ConfigurationEngine:
-    """Expands partial installation specifications to full ones."""
+    """Expands partial installation specifications to full ones.
+
+    With ``partition=True`` the pipeline splits the hypergraph into
+    connected components after GraphGen and encodes/solves/propagates
+    each component independently (:mod:`repro.config.partition`); the
+    resulting specification is bit-identical to the monolithic one.
+    ``configure(..., partition=...)`` overrides the mode per call.
+    """
 
     def __init__(
         self,
@@ -148,14 +231,21 @@ class ConfigurationEngine:
         verify_registry: bool = True,
         explain_unsat: bool = True,
         peer_policy: str = "colocate",
+        partition: bool = False,
         tracer=None,
     ) -> None:
+        if partition and solver == "dpll":
+            raise ConfigurationError(
+                "partitioned solving requires the cdcl solver (the DPLL "
+                "ablation baseline has no canonical decomposition)"
+            )
         self._registry = registry
         self._encoding = encoding
         self._solver = solver
         self._check_types = check_types
         self._explain_unsat = explain_unsat
         self._peer_policy = peer_policy
+        self._partition = partition
         self._tracer = tracer
         if verify_registry:
             # Memoized on the registry: many engines over one registry
@@ -166,12 +256,28 @@ class ConfigurationEngine:
     def registry(self) -> ResourceTypeRegistry:
         return self._registry
 
-    def configure(self, partial: PartialInstallSpec) -> ConfigurationResult:
+    def configure(
+        self,
+        partial: PartialInstallSpec,
+        *,
+        partition: Optional[bool] = None,
+    ) -> ConfigurationResult:
         """Compute a full installation specification extending ``partial``.
 
         Raises :class:`UnsatisfiableError` when no extension exists
         (Theorem 1), and surfaces any propagation or typechecking error.
+        ``partition`` overrides the engine's configured mode for this
+        call.
         """
+        use_partition = self._partition if partition is None else partition
+        if use_partition:
+            if self._solver == "dpll":
+                raise ConfigurationError(
+                    "partitioned solving requires the cdcl solver (the "
+                    "DPLL ablation baseline has no canonical "
+                    "decomposition)"
+                )
+            return self._configure_partitioned(partial)
         timings = PhaseTimings()
         started = time.perf_counter()
         graph = generate_graph(
@@ -189,15 +295,22 @@ class ConfigurationEngine:
         else:
             engine = CdclSolver(formula)
         solved = engine.solve()
-        ticked = time.perf_counter()
-        timings.solve_ms = (ticked - started) * 1000.0
         if not solved:
+            timings.solve_ms = (time.perf_counter() - started) * 1000.0
             raise_unsatisfiable(
                 self._registry, partial, graph, explain=self._explain_unsat
             )
+        if isinstance(engine, CdclSolver):
+            model = canonical_model(formula, engine)
+        else:
+            # The DPLL ablation keeps its own (True-first) model; it is
+            # never compared bit-for-bit against the partitioned path.
+            model = engine.model()
+        ticked = time.perf_counter()
+        timings.solve_ms = (ticked - started) * 1000.0
         named_model = {
             str(name): value
-            for name, value in formula.decode_model(engine.model()).items()
+            for name, value in formula.decode_model(model).items()
         }
         deployed, choices = selected_nodes(graph, named_model)
         spec = propagate(self._registry, graph, deployed, choices)
@@ -215,3 +328,124 @@ class ConfigurationEngine:
             deployed_ids=deployed,
             timings=timings,
         )
+
+    def _configure_partitioned(
+        self, partial: PartialInstallSpec
+    ) -> ConfigurationResult:
+        """The component-partitioned pipeline (bit-identical results)."""
+        timings = PhaseTimings()
+        started = time.perf_counter()
+        graph = generate_graph(
+            self._registry, partial, peer_policy=self._peer_policy
+        )
+        ticked = time.perf_counter()
+        timings.graph_ms = (ticked - started) * 1000.0
+        parts = partition_graph(graph)
+        started = time.perf_counter()
+        timings.partition_ms = (started - ticked) * 1000.0
+        info = PartitionInfo(partition_ms=timings.partition_ms)
+
+        aggregate_constraints = ConstraintStats(0, 0, 0, 0)
+        aggregate_solver = SolverStats(components=len(parts.components))
+        named_model: dict[str, bool] = {}
+        deployed: set[str] = set()
+        choices: dict[tuple[str, int], str] = {}
+        specs: list[InstallSpec] = []
+
+        for component in parts.components:
+            tick = time.perf_counter()
+            formula, constraint_stats = generate_constraints(
+                component.graph, self._encoding
+            )
+            encode_done = time.perf_counter()
+            solver = CdclSolver(formula)
+            if not solver.solve():
+                timings.encode_ms += (encode_done - tick) * 1000.0
+                timings.solve_ms += (time.perf_counter() - encode_done) * 1000.0
+                raise_unsatisfiable(
+                    self._registry, partial, graph,
+                    explain=self._explain_unsat, partition=True,
+                )
+            model = canonical_model(formula, solver)
+            named = {
+                str(name): value
+                for name, value in formula.decode_model(model).items()
+            }
+            solve_done = time.perf_counter()
+            component_deployed, component_choices = selected_nodes(
+                component.graph, named
+            )
+            spec = propagate(
+                self._registry, component.graph,
+                component_deployed, component_choices,
+            )
+            if self._check_types:
+                check_spec(self._registry, spec)
+            propagate_done = time.perf_counter()
+
+            named_model.update(named)
+            deployed |= component_deployed
+            choices.update(component_choices)
+            specs.append(spec)
+            _accumulate_constraint_stats(
+                aggregate_constraints, constraint_stats
+            )
+            _accumulate_solver_stats(aggregate_solver, solver.stats)
+            stats = ComponentStats(
+                index=component.index,
+                nodes=len(component.graph),
+                edges=len(component.graph.edges()),
+                pinned=len(component.pinned),
+                encode_ms=(encode_done - tick) * 1000.0,
+                solve_ms=(solve_done - encode_done) * 1000.0,
+                propagate_ms=(propagate_done - solve_done) * 1000.0,
+                decisions=solver.stats.decisions,
+                conflicts=solver.stats.conflicts,
+            )
+            info.components.append(stats)
+            timings.encode_ms += stats.encode_ms
+            timings.solve_ms += stats.solve_ms
+            timings.propagate_ms += stats.propagate_ms
+
+        tick = time.perf_counter()
+        spec = merge_component_specs(specs)
+        timings.propagate_ms += (time.perf_counter() - tick) * 1000.0
+        emit_config_trace(self._tracer, timings, partition=info)
+        return ConfigurationResult(
+            spec=spec,
+            graph=graph,
+            formula=None,
+            model=named_model,
+            constraint_stats=aggregate_constraints,
+            solver_stats=aggregate_solver,
+            deployed_ids=deployed,
+            timings=timings,
+            partition=info,
+        )
+
+
+def _accumulate_constraint_stats(
+    total: ConstraintStats, part: ConstraintStats
+) -> None:
+    """Sum per-component encoding sizes.
+
+    The encoding is edge-local, so the sums equal the monolithic
+    formula's sizes exactly.
+    """
+    total.variables += part.variables
+    total.clauses += part.clauses
+    total.facts += part.facts
+    total.hyperedges += part.hyperedges
+
+
+def _accumulate_solver_stats(total: SolverStats, part: SolverStats) -> None:
+    total.decisions += part.decisions
+    total.propagations += part.propagations
+    total.conflicts += part.conflicts
+    total.learned_clauses += part.learned_clauses
+    total.deleted_clauses += part.deleted_clauses
+    total.restarts += part.restarts
+    total.max_learned_length = max(
+        total.max_learned_length, part.max_learned_length
+    )
+    total.solve_calls += part.solve_calls

@@ -68,15 +68,26 @@ def _facts_as_assumptions(
 
 
 def explain_unsat(
-    registry: ResourceTypeRegistry, partial: PartialInstallSpec
+    registry: ResourceTypeRegistry,
+    partial: PartialInstallSpec,
+    *,
+    partition: bool = False,
 ) -> Optional[UnsatExplanation]:
     """Explain why ``partial`` is unsatisfiable; None if it is fine.
 
     Runs a deletion-based MUS over the partial-spec facts: drop each
     pinned instance in turn and keep the drop whenever the rest is still
     unsatisfiable.  The survivors are a minimal conflicting subset.
+
+    With ``partition`` the same deletion sweep is answered with one
+    solver per connected component (the trial subset only changes inside
+    the dropped fact's component, so every other component's verdict is
+    cached).  Satisfiability decomposes over components, so each trial
+    gets the same answer either way and the diagnosis is byte-identical.
     """
     graph = generate_graph(registry, partial)
+    if partition:
+        return _explain_partitioned(graph)
     formula, facts = _facts_as_assumptions(graph)
 
     # One incremental solver answers every subset query: the clause
@@ -97,6 +108,70 @@ def explain_unsat(
         if not satisfiable(trial):
             core = trial  # still unsat without it: drop for good
 
+    return _finish(graph, core)
+
+
+def _explain_partitioned(graph: ResourceGraph) -> Optional[UnsatExplanation]:
+    """The deletion MUS with per-component solvers (identical output).
+
+    Mirrors the monolithic sweep candidate for candidate: a trial subset
+    is unsatisfiable iff some component's slice of it is, and dropping a
+    fact only changes its own component's slice -- so each trial costs
+    one small solve (plus one re-solve when another component is already
+    conflicting and the drop is kept).
+    """
+    from repro.config.partition import partition_graph
+
+    parts = partition_graph(graph)
+    solvers: list[CdclSolver] = []
+    fact_maps: list[dict[str, int]] = []
+    kept: list[list[str]] = []
+    component_of: dict[str, int] = {}
+    for component in parts.components:
+        formula, facts = _facts_as_assumptions(component.graph)
+        solvers.append(CdclSolver(formula))
+        fact_maps.append(facts)
+        kept.append(sorted(facts))
+        for fact_id in facts:
+            component_of[fact_id] = component.index
+
+    def solve_component(index: int, fact_ids: list[str]) -> bool:
+        return solvers[index].solve(
+            [fact_maps[index][iid] for iid in fact_ids]
+        )
+
+    satisfiable = [
+        solve_component(index, kept[index]) for index in range(len(kept))
+    ]
+    if all(satisfiable):
+        return None
+
+    all_ids = sorted(component_of)
+    dropped: set[str] = set()
+    for candidate in all_ids:
+        if candidate in dropped:
+            continue  # trial == current core: still unsat, nothing changes
+        index = component_of[candidate]
+        trial = [iid for iid in kept[index] if iid != candidate]
+        if any(
+            not ok for other, ok in enumerate(satisfiable) if other != index
+        ):
+            # Some other component already conflicts: the trial is
+            # unsatisfiable no matter what, so the drop is kept; refresh
+            # this component's verdict under its reduced fact set.
+            kept[index] = trial
+            satisfiable[index] = solve_component(index, trial)
+            dropped.add(candidate)
+        elif not solve_component(index, trial):
+            kept[index] = trial
+            satisfiable[index] = False
+            dropped.add(candidate)
+
+    core = [iid for iid in all_ids if iid not in dropped]
+    return _finish(graph, core)
+
+
+def _finish(graph: ResourceGraph, core: list[str]) -> UnsatExplanation:
     related: list[tuple[str, tuple[str, ...]]] = []
     core_set = set(core)
     for edge in graph.edges():

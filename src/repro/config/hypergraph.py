@@ -17,6 +17,7 @@ machine as the machine of its dependent").
 from __future__ import annotations
 
 import re
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
@@ -82,6 +83,17 @@ class ResourceGraph:
         self._nodes: dict[str, GraphNode] = {}
         self._edges: list[HyperEdge] = []
         self._ids_by_slug: dict[str, int] = {}
+        #: Insertion-ordered node buckets per exact key, so candidate
+        #: lookups only pay a subtype test per *distinct* key.
+        self._nodes_by_key: dict[ResourceKey, list[GraphNode]] = {}
+        #: instance id -> machine id.  Inside links are fixed at node
+        #: creation, so the walk result never changes.
+        self._machine_cache: dict[str, str] = {}
+        #: (machine id, exact key) -> nodes, filled lazily from
+        #: :attr:`_unbucketed` so machine chains can complete before the
+        #: first placement query forces the walk.
+        self._machine_buckets: dict[tuple[str, ResourceKey], list[GraphNode]] = {}
+        self._unbucketed: deque[GraphNode] = deque()
 
     # -- Nodes ---------------------------------------------------------------
 
@@ -89,6 +101,8 @@ class ResourceGraph:
         if node.instance_id in self._nodes:
             raise ConfigurationError(f"duplicate node id: {node.instance_id}")
         self._nodes[node.instance_id] = node
+        self._nodes_by_key.setdefault(node.key, []).append(node)
+        self._unbucketed.append(node)
 
     def node(self, instance_id: str) -> GraphNode:
         try:
@@ -128,20 +142,64 @@ class ResourceGraph:
     def edges_from(self, instance_id: str) -> list[HyperEdge]:
         return [e for e in self._edges if e.source_id == instance_id]
 
+    def nodes_matching(
+        self, registry: ResourceTypeRegistry, key: ResourceKey
+    ) -> Iterable[GraphNode]:
+        """All nodes whose key subtypes ``key``, via the per-key index."""
+        for node_key, bucket in self._nodes_by_key.items():
+            if registry.is_subtype(node_key, key):
+                yield from bucket
+
+    def nodes_matching_on(
+        self,
+        registry: ResourceTypeRegistry,
+        key: ResourceKey,
+        machine_id: str,
+    ) -> Iterable[GraphNode]:
+        """Like :meth:`nodes_matching`, restricted to one machine.
+
+        Served from per-(machine, key) buckets, so a placement query
+        pays for the candidates on *its* machine rather than for every
+        same-key node in a fleet-sized graph.
+        """
+        while self._unbucketed:
+            node = self._unbucketed.popleft()
+            machine = self.machine_of(node.instance_id)
+            self._machine_buckets.setdefault(
+                (machine, node.key), []
+            ).append(node)
+        for node_key in self._nodes_by_key:
+            if registry.is_subtype(node_key, key):
+                bucket = self._machine_buckets.get((machine_id, node_key))
+                if bucket:
+                    yield from bucket
+
     # -- Machine context ------------------------------------------------------
 
     def machine_of(self, instance_id: str) -> str:
         """Follow inside links to the physical machine (S3.1)."""
+        cache = self._machine_cache
+        chain: list[str] = []
         seen: set[str] = set()
         current = self.node(instance_id)
-        while current.inside_id is not None:
+        while True:
+            hit = cache.get(current.instance_id)
+            if hit is not None:
+                machine = hit
+                break
+            if current.inside_id is None:
+                machine = current.instance_id
+                break
             if current.instance_id in seen:
                 raise ConfigurationError(
                     f"inside cycle at node {current.instance_id}"
                 )
             seen.add(current.instance_id)
+            chain.append(current.instance_id)
             current = self.node(current.inside_id)
-        return current.instance_id
+        for walked in chain:
+            cache[walked] = machine
+        return machine
 
     def nodes_on_machine(self, machine_id: str) -> list[GraphNode]:
         return [
@@ -197,7 +255,7 @@ def generate_graph(
     if peer_policy not in ("colocate", "error"):
         raise ConfigurationError(f"unknown peer policy: {peer_policy!r}")
     graph = ResourceGraph()
-    worklist: list[str] = []
+    worklist: deque[str] = deque()
 
     # Step 1: a node per partial instance.
     for instance in partial:
@@ -228,7 +286,7 @@ def generate_graph(
 
     # Step 2: process until the worklist is empty.
     while worklist:
-        instance_id = worklist.pop(0)
+        instance_id = worklist.popleft()
         _process_node(registry, graph, instance_id, worklist, peer_policy)
 
     return graph
@@ -238,7 +296,7 @@ def _process_node(
     registry: ResourceTypeRegistry,
     graph: ResourceGraph,
     instance_id: str,
-    worklist: list[str],
+    worklist: deque[str],
     peer_policy: str,
 ) -> None:
     node = graph.node(instance_id)
@@ -307,7 +365,7 @@ def _process_hyperedge(
     node: GraphNode,
     dependency: Dependency,
     machine_id: str,
-    worklist: list[str],
+    worklist: deque[str],
     *,
     same_machine: bool,
     peer_policy: str,
@@ -320,6 +378,7 @@ def _process_hyperedge(
             registry, graph, alt.key,
             machine_id if same_machine else None,
             exclude_id=node.instance_id,
+            prefer_machine_id=None if same_machine else machine_id,
         )
         if target_id is None:
             if not same_machine and peer_policy == "error":
@@ -350,22 +409,54 @@ def _find_existing(
     machine_id: Optional[str],
     *,
     exclude_id: str,
+    prefer_machine_id: Optional[str] = None,
 ) -> Optional[str]:
     """An existing node whose key subtypes ``key`` (and lives on
-    ``machine_id`` when given), preferring partial-spec nodes.  The
-    depending node itself is excluded -- a resource cannot satisfy its
-    own dependency."""
-    candidates = [
-        node
-        for node in graph.nodes()
-        if node.instance_id != exclude_id
-        and registry.is_subtype(node.key, key)
-        and (machine_id is None or graph.machine_of(node.instance_id) == machine_id)
-    ]
-    if not candidates:
-        return None
-    candidates.sort(key=lambda n: (not n.from_partial, n.instance_id))
-    return candidates[0].instance_id
+    ``machine_id`` when given), preferring partial-spec nodes.  Among
+    equally-pinned candidates, ``prefer_machine_id`` (the dependent's
+    machine, for peer dependencies) breaks ties towards co-located
+    instances -- the paper's conservative placement rule, and what keeps
+    per-replica pinned services attached to their own machine group in
+    fleet topologies.  The depending node itself is excluded -- a
+    resource cannot satisfy its own dependency."""
+    best: Optional[GraphNode] = None
+    if machine_id is not None:
+        # Same-machine requirement: only this machine's bucket can match,
+        # and the preference term is constant across it.
+        short_rank: Optional[tuple[bool, str]] = None
+        for node in graph.nodes_matching_on(registry, key, machine_id):
+            if node.instance_id == exclude_id:
+                continue
+            rank = (not node.from_partial, node.instance_id)
+            if short_rank is None or rank < short_rank:
+                best, short_rank = node, rank
+        return best.instance_id if best is not None else None
+    if prefer_machine_id is not None:
+        # A pinned candidate on the dependent's machine has the best
+        # possible rank class; the lowest id among those wins outright,
+        # without scanning the other machines' same-key nodes.
+        for node in graph.nodes_matching_on(
+            registry, key, prefer_machine_id
+        ):
+            if node.instance_id == exclude_id or not node.from_partial:
+                continue
+            if best is None or node.instance_id < best.instance_id:
+                best = node
+        if best is not None:
+            return best.instance_id
+    best_rank: Optional[tuple[bool, bool, str]] = None
+    for node in graph.nodes_matching(registry, key):
+        if node.instance_id == exclude_id:
+            continue
+        rank = (
+            not node.from_partial,
+            prefer_machine_id is not None
+            and graph.machine_of(node.instance_id) != prefer_machine_id,
+            node.instance_id,
+        )
+        if best_rank is None or rank < best_rank:
+            best, best_rank = node, rank
+    return best.instance_id if best is not None else None
 
 
 def _materialise(
@@ -373,7 +464,7 @@ def _materialise(
     graph: ResourceGraph,
     key: ResourceKey,
     machine_id: str,
-    worklist: list[str],
+    worklist: deque[str],
 ) -> str:
     """Create a new instance of ``key`` on ``machine_id`` (S4: new
     instances conservatively reside on the dependent's machine)."""

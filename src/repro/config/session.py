@@ -48,20 +48,32 @@ from repro.config.constraints import (
     generate_constraints,
     selected_nodes,
 )
+from repro.core.errors import ConfigurationError
 from repro.config.engine import (
     ConfigurationResult,
     PhaseTimings,
     SessionCacheInfo,
+    _accumulate_constraint_stats,
+    _accumulate_solver_stats,
+    canonical_model,
     emit_config_trace,
     raise_unsatisfiable,
 )
 from repro.config.fingerprint import fingerprint_partial
 from repro.config.hypergraph import ResourceGraph, generate_graph
+from repro.config.partition import (
+    ComponentStats,
+    GraphComponent,
+    Partition,
+    PartitionInfo,
+    merge_component_specs,
+    partition_graph,
+)
 from repro.config.propagation import propagate
 from repro.config.typecheck import check_spec
 from repro.sat.cnf import CnfFormula
 from repro.sat.encodings import ExactlyOneEncoding
-from repro.sat.solver import CdclSolver, DpllSolver
+from repro.sat.solver import CdclSolver, DpllSolver, SolverStats
 
 
 @dataclass
@@ -87,17 +99,17 @@ class SessionStats:
 
 
 class _Entry:
-    """Everything cached for one partial-spec fingerprint."""
+    """Everything cached for one (mode, partial-spec fingerprint) key."""
 
     __slots__ = (
         "graph", "formula", "constraint_stats", "assumptions", "solver",
-        "verified_specs",
+        "canonical", "verified_specs", "partition", "components",
     )
 
     def __init__(
         self,
         graph: ResourceGraph,
-        formula: CnfFormula,
+        formula: Optional[CnfFormula],
         constraint_stats: ConstraintStats,
         assumptions: list[int],
     ) -> None:
@@ -106,11 +118,46 @@ class _Entry:
         self.constraint_stats = constraint_stats
         self.assumptions = assumptions
         self.solver: Optional[CdclSolver] = None
+        #: The deterministic-order model, computed once if this entry's
+        #: solver ever conflicted (the assumptions are fixed per entry,
+        #: so the canonical model never changes).
+        self.canonical: Optional[dict[int, bool]] = None
         #: (deployed, choices) outcome -> the propagated (and, when
         #: enabled, typechecked) instances, in topological order.  The
         #: instances are frozen dataclasses, so reuse is safe; only the
         #: InstallSpec container is rebuilt per call.
         self.verified_specs: dict[tuple, tuple] = {}
+        #: Partitioned-mode state: the component split of ``graph`` and
+        #: one :class:`_ComponentEntry` per component (None/[] for
+        #: monolithic entries).
+        self.partition: Optional[Partition] = None
+        self.components: list[_ComponentEntry] = []
+
+
+class _ComponentEntry:
+    """Cached encoding + persistent solver for one graph component."""
+
+    __slots__ = (
+        "component", "formula", "constraint_stats", "assumptions",
+        "solver", "canonical", "encode_ms",
+    )
+
+    def __init__(
+        self,
+        component: GraphComponent,
+        formula: CnfFormula,
+        constraint_stats: ConstraintStats,
+        assumptions: list[int],
+        encode_ms: float,
+    ) -> None:
+        self.component = component
+        self.formula = formula
+        self.constraint_stats = constraint_stats
+        self.assumptions = assumptions
+        #: One-time encoding cost, reported on the miss call only.
+        self.encode_ms = encode_ms
+        self.solver: Optional[CdclSolver] = None
+        self.canonical: Optional[dict[int, bool]] = None
 
 
 class ConfigurationSession:
@@ -133,11 +180,17 @@ class ConfigurationSession:
         verify_registry: bool = True,
         explain_unsat: bool = True,
         peer_policy: str = "colocate",
+        partition: bool = False,
         max_entries: int = 1024,
         tracer=None,
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
+        if partition and solver == "dpll":
+            raise ConfigurationError(
+                "partitioned solving requires the cdcl solver (the DPLL "
+                "ablation baseline has no canonical decomposition)"
+            )
         self._registry = registry
         self._encoding = encoding
         self._solver = solver
@@ -145,9 +198,13 @@ class ConfigurationSession:
         self._verify_registry = verify_registry
         self._explain_unsat = explain_unsat
         self._peer_policy = peer_policy
+        self._partition = partition
         self._max_entries = max_entries
         self._tracer = tracer
-        self._entries: dict[str, _Entry] = {}
+        #: Keyed by (partitioned?, fingerprint): the two modes cache
+        #: different artifacts (one formula/solver vs one per component),
+        #: so a mode flip must never serve the other mode's entry.
+        self._entries: dict[tuple[bool, str], _Entry] = {}
         self.stats = SessionStats()
         if verify_registry:
             assert_well_formed(registry)
@@ -177,14 +234,14 @@ class ConfigurationSession:
             assert_well_formed(self._registry)
         self._registry_version = self._registry.version
 
-    def _lookup(self, fingerprint: str) -> Optional[_Entry]:
-        entry = self._entries.pop(fingerprint, None)
+    def _lookup(self, key: tuple[bool, str]) -> Optional[_Entry]:
+        entry = self._entries.pop(key, None)
         if entry is not None:
-            self._entries[fingerprint] = entry  # re-insert: LRU refresh
+            self._entries[key] = entry  # re-insert: LRU refresh
         return entry
 
-    def _store(self, fingerprint: str, entry: _Entry) -> None:
-        self._entries[fingerprint] = entry
+    def _store(self, key: tuple[bool, str], entry: _Entry) -> None:
+        self._entries[key] = entry
         if len(self._entries) > self._max_entries:
             oldest = next(iter(self._entries))
             del self._entries[oldest]
@@ -192,20 +249,33 @@ class ConfigurationSession:
 
     # -- The pipeline ---------------------------------------------------
 
-    def configure(self, partial: PartialInstallSpec) -> ConfigurationResult:
+    def configure(
+        self,
+        partial: PartialInstallSpec,
+        *,
+        partition: Optional[bool] = None,
+    ) -> ConfigurationResult:
         """Expand ``partial``, reusing every cache the session holds.
 
         Semantics match :meth:`ConfigurationEngine.configure`, including
         :class:`~repro.core.errors.UnsatisfiableError` on Theorem 1
-        failures.
+        failures.  ``partition`` overrides the session's configured mode
+        for this call; the two modes never share cache entries.
         """
+        use_partition = self._partition if partition is None else partition
+        if use_partition and self._solver == "dpll":
+            raise ConfigurationError(
+                "partitioned solving requires the cdcl solver (the DPLL "
+                "ablation baseline has no canonical decomposition)"
+            )
         self._revalidate()
         self.stats.configure_calls += 1
         timings = PhaseTimings()
         cache = SessionCacheInfo(fingerprint=fingerprint_partial(partial))
+        key = (use_partition, cache.fingerprint)
 
         started = time.perf_counter()
-        entry = self._lookup(cache.fingerprint)
+        entry = self._lookup(key)
         if entry is not None:
             cache.graph_hit = True
             cache.cnf_hit = True
@@ -218,15 +288,20 @@ class ConfigurationSession:
             self.stats.graph_misses += 1
             ticked = time.perf_counter()
             timings.graph_ms = (ticked - started) * 1000.0
-            formula, constraint_stats = generate_constraints(
-                graph, self._encoding, facts_as_assumptions=True
-            )
-            assumptions = sorted(fact_literals(graph, formula).values())
+            if use_partition:
+                entry = self._build_partitioned_entry(graph, timings)
+            else:
+                formula, constraint_stats = generate_constraints(
+                    graph, self._encoding, facts_as_assumptions=True
+                )
+                assumptions = sorted(fact_literals(graph, formula).values())
+                entry = _Entry(graph, formula, constraint_stats, assumptions)
+                timings.encode_ms = (time.perf_counter() - ticked) * 1000.0
             self.stats.cnf_misses += 1
-            entry = _Entry(graph, formula, constraint_stats, assumptions)
-            self._store(cache.fingerprint, entry)
-            started = time.perf_counter()
-            timings.encode_ms = (started - ticked) * 1000.0
+            self._store(key, entry)
+
+        if use_partition:
+            return self._configure_partitioned(partial, entry, cache, timings)
 
         started = time.perf_counter()
         solved, model, solver_stats = self._solve(entry, cache)
@@ -293,4 +368,153 @@ class ConfigurationSession:
             self.stats.solver_reuses += 1
         if not entry.solver.solve(entry.assumptions):
             return False, {}, entry.solver.stats
-        return True, entry.solver.model(), entry.solver.stats
+        if entry.solver.stats.conflicts == 0:
+            # Conflict-free throughout its life: the persistent solver's
+            # model IS the canonical static-order model (see
+            # :func:`canonical_model`), at zero extra cost.
+            return True, entry.solver.model(), entry.solver.stats
+        if entry.canonical is None:
+            entry.canonical = canonical_model(
+                entry.formula, entry.solver, entry.assumptions
+            )
+        return True, entry.canonical, entry.solver.stats
+
+    # -- The partitioned pipeline ---------------------------------------
+
+    def _build_partitioned_entry(
+        self, graph: ResourceGraph, timings: PhaseTimings
+    ) -> _Entry:
+        """Split ``graph`` and encode each component (the cache miss)."""
+        ticked = time.perf_counter()
+        parts = partition_graph(graph)
+        started = time.perf_counter()
+        timings.partition_ms = (started - ticked) * 1000.0
+        aggregate = ConstraintStats(0, 0, 0, 0)
+        entry = _Entry(graph, None, aggregate, [])
+        entry.partition = parts
+        for component in parts.components:
+            tick = time.perf_counter()
+            formula, constraint_stats = generate_constraints(
+                component.graph, self._encoding, facts_as_assumptions=True
+            )
+            assumptions = sorted(
+                fact_literals(component.graph, formula).values()
+            )
+            encode_ms = (time.perf_counter() - tick) * 1000.0
+            entry.components.append(
+                _ComponentEntry(
+                    component, formula, constraint_stats, assumptions,
+                    encode_ms,
+                )
+            )
+            _accumulate_constraint_stats(aggregate, constraint_stats)
+            timings.encode_ms += encode_ms
+        return entry
+
+    def _configure_partitioned(
+        self,
+        partial: PartialInstallSpec,
+        entry: _Entry,
+        cache: SessionCacheInfo,
+        timings: PhaseTimings,
+    ) -> ConfigurationResult:
+        """Solve/decode each cached component and merge (warm path)."""
+        info = PartitionInfo(partition_ms=timings.partition_ms)
+        aggregate_solver = SolverStats(components=len(entry.components))
+        named_model: dict[str, bool] = {}
+        deployed: set[str] = set()
+        choices: dict[tuple[str, int], str] = {}
+        outcomes: list[tuple[set[str], dict[tuple[str, int], str]]] = []
+        solve_ms: list[float] = []
+
+        for comp in entry.components:
+            tick = time.perf_counter()
+            if comp.solver is None:
+                comp.solver = CdclSolver(comp.formula)
+                self.stats.solver_builds += 1
+            else:
+                cache.solver_reused = True
+                self.stats.solver_reuses += 1
+            if not comp.solver.solve(comp.assumptions):
+                timings.solve_ms += (time.perf_counter() - tick) * 1000.0
+                raise_unsatisfiable(
+                    self._registry, partial, entry.graph,
+                    explain=self._explain_unsat, partition=True,
+                )
+            if comp.solver.stats.conflicts == 0:
+                model = comp.solver.model()
+            else:
+                if comp.canonical is None:
+                    comp.canonical = canonical_model(
+                        comp.formula, comp.solver, comp.assumptions
+                    )
+                model = comp.canonical
+            named = {
+                str(name): value
+                for name, value in comp.formula.decode_model(model).items()
+            }
+            component_deployed, component_choices = selected_nodes(
+                comp.component.graph, named
+            )
+            elapsed = (time.perf_counter() - tick) * 1000.0
+            named_model.update(named)
+            deployed |= component_deployed
+            choices.update(component_choices)
+            outcomes.append((component_deployed, component_choices))
+            solve_ms.append(elapsed)
+            timings.solve_ms += elapsed
+            _accumulate_solver_stats(aggregate_solver, comp.solver.stats)
+
+        ticked = time.perf_counter()
+        outcome = (frozenset(deployed), tuple(sorted(choices.items())))
+        instances = entry.verified_specs.get(outcome)
+        propagate_ms = [0.0] * len(entry.components)
+        if instances is not None:
+            spec = InstallSpec(instances)
+            cache.typecheck_skipped = True
+            self.stats.typecheck_skips += 1
+        else:
+            specs: list[InstallSpec] = []
+            for index, comp in enumerate(entry.components):
+                tick = time.perf_counter()
+                component_deployed, component_choices = outcomes[index]
+                component_spec = propagate(
+                    self._registry, comp.component.graph,
+                    component_deployed, component_choices,
+                )
+                if self._check_types:
+                    check_spec(self._registry, component_spec)
+                specs.append(component_spec)
+                propagate_ms[index] = (time.perf_counter() - tick) * 1000.0
+            spec = merge_component_specs(specs)
+            entry.verified_specs[outcome] = tuple(spec)
+            self.stats.typecheck_runs += 1
+        timings.propagate_ms = (time.perf_counter() - ticked) * 1000.0
+
+        for index, comp in enumerate(entry.components):
+            info.components.append(
+                ComponentStats(
+                    index=comp.component.index,
+                    nodes=len(comp.component.graph),
+                    edges=len(comp.component.graph.edges()),
+                    pinned=len(comp.component.pinned),
+                    encode_ms=0.0 if cache.cnf_hit else comp.encode_ms,
+                    solve_ms=solve_ms[index],
+                    propagate_ms=propagate_ms[index],
+                    decisions=comp.solver.stats.decisions,
+                    conflicts=comp.solver.stats.conflicts,
+                )
+            )
+        emit_config_trace(self._tracer, timings, cache, partition=info)
+        return ConfigurationResult(
+            spec=spec,
+            graph=entry.graph,
+            formula=None,
+            model=named_model,
+            constraint_stats=entry.constraint_stats,
+            solver_stats=aggregate_solver,
+            deployed_ids=deployed,
+            timings=timings,
+            cache=cache,
+            partition=info,
+        )

@@ -171,8 +171,19 @@ class ResourceTypeRegistry:
         return list(self._children.get(key, ()))
 
     def is_subtype(self, sub: ResourceKey, sup: ResourceKey) -> bool:
-        """Reflexive-transitive ``extends`` relation."""
-        return subtyping.nominal_subtype(self, sub, sup)
+        """Reflexive-transitive ``extends`` relation.
+
+        Memoized per registry version: graph generation asks this for
+        every (candidate key, dependency key) pair, which at fleet scale
+        is the same few hundred pairs over and over.
+        """
+        verdicts = self.derived("subtype-verdicts", lambda _registry: {})
+        pair = (sub, sup)
+        hit = verdicts.get(pair)
+        if hit is None:
+            hit = subtyping.nominal_subtype(self, sub, sup)
+            verdicts[pair] = hit
+        return hit
 
     def concrete_frontier(self, key: ResourceKey) -> list[ResourceKey]:
         """The frontier F of concrete subtypes of ``key`` (S4).

@@ -51,6 +51,11 @@ class SolverStats:
     #: values above 1 mean the clause database (and any learned clauses)
     #: were reused incrementally.
     solve_calls: int = 0
+    #: Number of independently solved subproblems these counters cover:
+    #: 1 for a single solver, the component count when the configuration
+    #: pipeline ran component-partitioned and aggregated per-component
+    #: solver stats (see :mod:`repro.config.partition`).
+    components: int = 1
 
 
 def _luby(i: int) -> int:

@@ -1,18 +1,119 @@
 """Fuzz-style robustness: hostile input never crashes, only raises the
-library's own error types."""
+library's own error types.
+
+Also home of the *seeded* random fleet-spec generator
+(:func:`random_fleet_partial` / :func:`conflict_mutant`) used by the
+partition property corpus in ``test_partition_properties.py``: plain
+``random.Random`` rather than hypothesis, so each seed names exactly one
+reproducible multi-component specification.
+"""
 
 from __future__ import annotations
 
 import json
+import random
 import string
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core import PartialInstallSpec, PartialInstance, as_key
 from repro.core.errors import EngageError, ParseError, SpecError
 from repro.dsl import parse_module, partial_from_json, tokenize
+from repro.library.fleet import FleetTopology, fleet_spec_entries
 from repro.sat import parse_dimacs
+
+
+# -- Seeded fleet-spec generator ------------------------------------------
+
+#: Dependency-free services that can be pinned on any machine.
+_EXTRA_SERVICES = (
+    "Memcached 1.4", "Redis 2.4", "Monit 5.3",
+    "PostgreSQL 8.4", "MongoDB 2.0", "SQLite 3.7",
+)
+_MACHINE_KEYS = ("Ubuntu-Linux 10.4", "Ubuntu-Linux 10.10", "Mac-OSX 10.6")
+_STACK_NAMES = ("openmrs", "jasper", "django")
+
+
+def random_fleet_partial(seed: int) -> PartialInstallSpec:
+    """A reproducible multi-machine partial spec for ``seed``.
+
+    Fleet shape (machine count, replica count, stack mix, machine OS)
+    and a sprinkle of extra pinned services with randomized
+    configuration all derive from one ``random.Random(seed)`` stream, so
+    the same seed always names the same specification.
+    """
+    rng = random.Random(seed)
+    machines = rng.randint(1, 4)
+    replicas = rng.randint(1, 2 * machines + 2)
+    stacks = tuple(
+        rng.sample(_STACK_NAMES, k=rng.randint(1, len(_STACK_NAMES)))
+    )
+    topology = FleetTopology(
+        replicas=replicas,
+        machines=machines,
+        stacks=stacks,
+        machine_key=rng.choice(_MACHINE_KEYS),
+    )
+    entries = list(fleet_spec_entries(topology))
+    for extra in range(rng.randint(0, 4)):
+        host = f"host{rng.randrange(machines):03d}"
+        key = rng.choice(_EXTRA_SERVICES)
+        config = {}
+        if key.startswith(("Redis", "Memcached", "PostgreSQL")):
+            config["port"] = rng.randint(1024, 65535)
+        entries.append(
+            PartialInstance(
+                id=f"extra{extra:02d}",
+                key=as_key(key),
+                inside_id=host,
+                config=config,
+            )
+        )
+    return PartialInstallSpec(entries)
+
+
+def conflict_mutant(seed: int) -> PartialInstallSpec:
+    """An UNSAT mutant of :func:`random_fleet_partial`'s output.
+
+    Pins both ``JDK 1.6`` and ``JRE 1.6`` on a machine that hosts a
+    Tomcat: Tomcat's Java environment dependency then has *two* pinned
+    providers, violating its exactly-one hyperedge.  When the fleet has
+    no Tomcat (a django-only draw), one is pinned first.
+    """
+    rng = random.Random(~seed)
+    entries = list(random_fleet_partial(seed))
+    tomcat_hosts = sorted(
+        entry.inside_id
+        for entry in entries
+        if entry.key.name == "Tomcat" and entry.inside_id is not None
+    )
+    if tomcat_hosts:
+        host = rng.choice(tomcat_hosts)
+    else:
+        host = rng.choice(
+            sorted(e.id for e in entries if e.inside_id is None)
+        )
+        entries.append(
+            PartialInstance(
+                id="mutant_tomcat", key=as_key("Tomcat 6.0.18"),
+                inside_id=host, config={},
+            )
+        )
+    entries.append(
+        PartialInstance(
+            id="mutant_jdk", key=as_key("JDK 1.6"), inside_id=host,
+            config={},
+        )
+    )
+    entries.append(
+        PartialInstance(
+            id="mutant_jre", key=as_key("JRE 1.6"), inside_id=host,
+            config={},
+        )
+    )
+    return PartialInstallSpec(entries)
 
 
 @settings(max_examples=200, deadline=None)
