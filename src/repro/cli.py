@@ -75,9 +75,61 @@ def cmd_check(args, out: TextIO) -> int:
     return 0
 
 
+def _run_stats(path: str, result) -> dict:
+    """One configure call's stats, JSON-shaped (for --stats-json)."""
+    import dataclasses
+
+    payload = {
+        "partial": path,
+        "instances": len(result.spec),
+        "timings": dataclasses.asdict(result.timings),
+        "constraint_stats": dataclasses.asdict(result.constraint_stats),
+        "solver_stats": dataclasses.asdict(result.solver_stats),
+        "cache": (
+            dataclasses.asdict(result.cache)
+            if result.cache is not None else None
+        ),
+        "partition": None,
+    }
+    if result.partition is not None:
+        info = result.partition
+        payload["partition"] = {
+            "count": info.count,
+            "largest": info.largest,
+            "partition_ms": info.partition_ms,
+            "workers": info.workers,
+            "components": [
+                dataclasses.asdict(component)
+                for component in info.components
+            ],
+        }
+    return payload
+
+
+def _write_stats_json(path: str, runs: list, out: TextIO) -> None:
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"runs": runs}, handle, indent=1)
+        handle.write("\n")
+    out.write(f"stats written to {path} ({len(runs)} run(s))\n")
+
+
 def cmd_configure(args, out: TextIO) -> int:
     registry = _build_registry(args)
     paths = args.partial
+    workers = args.workers
+    if workers is not None and args.partition is False:
+        out.write(
+            "error: --workers requires partitioned configuration "
+            "(drop --no-partition)\n"
+        )
+        return 2
+    partition = (
+        bool(args.partition) if args.partition is not None
+        else workers is not None
+    )
+    runs: list = []
     if not args.session:
         if len(paths) > 1 or args.repeat != 1:
             out.write(
@@ -87,41 +139,58 @@ def cmd_configure(args, out: TextIO) -> int:
         partial = _read_partial(paths[0])
         engine = ConfigurationEngine(
             registry, verify_registry=not args.no_verify,
-            partition=args.partition,
+            partition=partition, workers=workers,
         )
-        return _write_full_spec(engine.configure(partial), args, out)
+        try:
+            result = engine.configure(partial)
+        finally:
+            engine.close()
+        if args.stats_json:
+            _write_stats_json(
+                args.stats_json, [_run_stats(paths[0], result)], out
+            )
+        return _write_full_spec(result, args, out)
     if args.output and len(paths) > 1:
         out.write("error: --output only works with a single partial spec\n")
         return 2
     partials = [_read_partial(path) for path in paths]
     session = ConfigurationSession(
         registry, verify_registry=not args.no_verify,
-        partition=args.partition,
+        partition=partition, workers=workers,
     )
     result = None
-    for round_number in range(args.repeat):
-        for path, partial in zip(paths, partials):
-            result = session.configure(partial)
-            cache = result.cache
-            flags = ", ".join(
-                name
-                for name, on in (
-                    ("graph-hit", cache.graph_hit),
-                    ("cnf-hit", cache.cnf_hit),
-                    ("solver-reused", cache.solver_reused),
-                    ("spec-reused", cache.typecheck_skipped),
+    try:
+        for round_number in range(args.repeat):
+            for path, partial in zip(paths, partials):
+                result = session.configure(partial)
+                if args.stats_json:
+                    runs.append(_run_stats(path, result))
+                cache = result.cache
+                flags = ", ".join(
+                    name
+                    for name, on in (
+                        ("graph-hit", cache.graph_hit),
+                        ("cnf-hit", cache.cnf_hit),
+                        ("solver-reused", cache.solver_reused),
+                        ("spec-reused", cache.typecheck_skipped),
+                    )
+                    if on
+                ) or "cold"
+                components = ""
+                if result.partition is not None:
+                    components = f", {result.partition.count} components"
+                    if result.partition.workers:
+                        components += (
+                            f" on {result.partition.workers} workers"
+                        )
+                out.write(
+                    f"[{round_number + 1}] {path}: "
+                    f"{len(result.spec)} instances "
+                    f"in {result.timings.total_ms:.2f} ms "
+                    f"({flags}{components})\n"
                 )
-                if on
-            ) or "cold"
-            components = (
-                f", {result.partition.count} components"
-                if result.partition is not None
-                else ""
-            )
-            out.write(
-                f"[{round_number + 1}] {path}: {len(result.spec)} instances "
-                f"in {result.timings.total_ms:.2f} ms ({flags}{components})\n"
-            )
+    finally:
+        session.close()
     stats = session.stats
     out.write(
         f"session: {stats.configure_calls} calls, "
@@ -129,6 +198,8 @@ def cmd_configure(args, out: TextIO) -> int:
         f"{stats.solver_reuses} solver reuses, "
         f"{stats.typecheck_skips} spec reuses\n"
     )
+    if args.stats_json:
+        _write_stats_json(args.stats_json, runs, out)
     if args.output and result is not None:
         return _write_full_spec(result, args, out)
     return 0
@@ -145,9 +216,12 @@ def _write_full_spec(result, args, out: TextIO) -> int:
         )
         if result.partition is not None:
             info = result.partition
+            pool = (
+                f" on {info.workers} workers" if info.workers else ""
+            )
             out.write(
                 f"partitioned: {info.count} components "
-                f"(largest {info.largest} nodes)\n"
+                f"(largest {info.largest} nodes){pool}\n"
             )
     else:
         out.write(text)
@@ -706,13 +780,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --session: configure each partial spec N times",
     )
     configure.add_argument(
-        "--partition", dest="partition", action="store_true", default=False,
+        "--partition", dest="partition", action="store_true", default=None,
         help="split the hypergraph into connected components and solve "
         "each independently (bit-identical result, faster on fleets)",
     )
     configure.add_argument(
         "--no-partition", dest="partition", action="store_false",
         help="force the monolithic single-formula pipeline (default)",
+    )
+    configure.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="solve the partitioned components on a persistent process "
+        "pool of N workers (0 = one per core; implies --partition; "
+        "bit-identical result)",
+    )
+    configure.add_argument(
+        "--stats-json", dest="stats_json", metavar="FILE",
+        help="write phase timings and per-component stats for every "
+        "configure call as JSON",
     )
 
     graph = sub.add_parser("graph", help="print the dependency hypergraph")

@@ -27,15 +27,22 @@ from repro.config.hypergraph import (
     lower_alternatives,
 )
 from repro.config.fingerprint import canonical_form, fingerprint_partial
+from repro.config.parallel import (
+    ComponentOutcome,
+    WorkerPool,
+    resolve_workers,
+)
 from repro.config.propagation import propagate
 from repro.config.session import ConfigurationSession, SessionStats
 from repro.config.typecheck import check_spec, spec_problems
 
 __all__ = [
+    "ComponentOutcome",
     "ConfigurationEngine",
     "ConfigurationResult",
     "ConfigurationSession",
     "ConstraintStats",
+    "WorkerPool",
     "GraphNode",
     "HyperEdge",
     "PhaseTimings",
@@ -53,6 +60,7 @@ __all__ = [
     "generate_graph",
     "lower_alternatives",
     "propagate",
+    "resolve_workers",
     "selected_nodes",
     "spec_problems",
 ]

@@ -51,6 +51,13 @@ class PhaseTimings:
     encode_ms: float = 0.0
     solve_ms: float = 0.0
     propagate_ms: float = 0.0
+    #: Wall-clock time of the process-pool dispatch+collect, 0 when the
+    #: components ran in-process.  Deliberately *not* part of
+    #: :attr:`total_ms`: encode/solve/propagate already account the same
+    #: work as per-component sums, so ``total_ms`` stays comparable
+    #: across serial and parallel runs (CPU-time-like), while this field
+    #: is what the wall clock actually saw.
+    parallel_wall_ms: float = 0.0
 
     @property
     def total_ms(self) -> float:
@@ -182,7 +189,10 @@ def emit_config_trace(tracer, timings, cache=None, partition=None) -> None:
         start += duration
     if partition is not None:
         # One span per component on its own sub-lane, so a fleet-sized
-        # configure shows where each machine group spent its time.
+        # configure shows where each machine group spent its time.  The
+        # component index and node count ride along as args (the span
+        # name alone is not machine-filterable in Perfetto), plus the
+        # worker id when a process pool solved the component.
         component_start = start
         for component in partition.components:
             wall_ms = (
@@ -190,17 +200,45 @@ def emit_config_trace(tracer, timings, cache=None, partition=None) -> None:
                 + component.propagate_ms
             )
             duration = wall_ms / 1000.0
-            tracer.span(
-                f"configure:component[{component.index}]",
-                category="config", start=component_start, duration=duration,
-                lane="config", wall_ms=round(wall_ms, 3),
+            args = dict(
+                wall_ms=round(wall_ms, 3), component=component.index,
                 nodes=component.nodes, edges=component.edges,
                 pinned=component.pinned, decisions=component.decisions,
                 conflicts=component.conflicts,
             )
+            if component.worker >= 0:
+                args["worker"] = component.worker
+            tracer.span(
+                f"configure:component[{component.index}]",
+                category="config", start=component_start, duration=duration,
+                lane="config", **args,
+            )
+            if partition.workers:
+                # Worker-measured phase spans, merged into the parent
+                # trace in deterministic (component index, phase) order.
+                phase_start = component_start
+                for phase_name, phase_ms in (
+                    ("encode", component.encode_ms),
+                    ("solve", component.solve_ms),
+                    ("propagate", component.propagate_ms),
+                ):
+                    if phase_ms <= 0.0:
+                        continue
+                    tracer.span(
+                        f"configure:component[{component.index}]"
+                        f":{phase_name}",
+                        category="config", start=phase_start,
+                        duration=phase_ms / 1000.0, lane="config",
+                        wall_ms=round(phase_ms, 3),
+                        component=component.index, nodes=component.nodes,
+                        worker=component.worker,
+                    )
+                    phase_start += phase_ms / 1000.0
             tracer.metrics.histogram("config.component_ms").observe(wall_ms)
             component_start += duration
         tracer.metrics.histogram("config.components").observe(partition.count)
+        if partition.workers:
+            tracer.metrics.counter("config.parallel_configures").inc()
         start = max(start, component_start)
     if cache is not None:
         tracer.instant(
@@ -218,7 +256,13 @@ class ConfigurationEngine:
     connected components after GraphGen and encodes/solves/propagates
     each component independently (:mod:`repro.config.partition`); the
     resulting specification is bit-identical to the monolithic one.
-    ``configure(..., partition=...)`` overrides the mode per call.
+    With ``workers`` set, the partitioned components fan out across a
+    persistent process pool (:mod:`repro.config.parallel`; 0 = one
+    worker per core) -- still bit-identical, near-linear in cores on
+    fleet-shaped graphs.  ``configure(..., partition=..., workers=...)``
+    overrides either mode per call.  Engines holding a pool should be
+    ``close()``d (or used as context managers); an un-closed pool is
+    reaped by GC/daemon cleanup.
     """
 
     def __init__(
@@ -232,12 +276,18 @@ class ConfigurationEngine:
         explain_unsat: bool = True,
         peer_policy: str = "colocate",
         partition: bool = False,
+        workers: Optional[int] = None,
         tracer=None,
     ) -> None:
         if partition and solver == "dpll":
             raise ConfigurationError(
                 "partitioned solving requires the cdcl solver (the DPLL "
                 "ablation baseline has no canonical decomposition)"
+            )
+        if workers is not None and not partition:
+            raise ConfigurationError(
+                "parallel configuration (workers=...) requires "
+                "partition=True"
             )
         self._registry = registry
         self._encoding = encoding
@@ -246,6 +296,8 @@ class ConfigurationEngine:
         self._explain_unsat = explain_unsat
         self._peer_policy = peer_policy
         self._partition = partition
+        self._workers = workers
+        self._pool = None
         self._tracer = tracer
         if verify_registry:
             # Memoized on the registry: many engines over one registry
@@ -256,20 +308,61 @@ class ConfigurationEngine:
     def registry(self) -> ResourceTypeRegistry:
         return self._registry
 
+    def close(self) -> None:
+        """Shut down the worker pool, if one was spun up (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ConfigurationEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _ensure_pool(self, workers: int):
+        """The persistent pool, recycled on size/registry changes."""
+        from repro.config.parallel import WorkerPool, resolve_workers
+
+        resolved = resolve_workers(workers)
+        pool = self._pool
+        if pool is not None and (
+            pool.closed
+            or pool.workers != resolved
+            or pool.registry_version != self._registry.version
+        ):
+            pool.close()
+            pool = None
+        if pool is None:
+            pool = WorkerPool(
+                self._registry, workers=resolved, encoding=self._encoding,
+                check_types=self._check_types,
+            )
+            self._pool = pool
+        return pool
+
     def configure(
         self,
         partial: PartialInstallSpec,
         *,
         partition: Optional[bool] = None,
+        workers: Optional[int] = None,
     ) -> ConfigurationResult:
         """Compute a full installation specification extending ``partial``.
 
         Raises :class:`UnsatisfiableError` when no extension exists
         (Theorem 1), and surfaces any propagation or typechecking error.
-        ``partition`` overrides the engine's configured mode for this
-        call.
+        ``partition`` and ``workers`` override the engine's configured
+        modes for this call (``workers``: None = in-process, 0 = one
+        worker per core, N = a pool of N processes).
         """
         use_partition = self._partition if partition is None else partition
+        use_workers = self._workers if workers is None else workers
+        if use_workers is not None and not use_partition:
+            raise ConfigurationError(
+                "parallel configuration (workers=...) requires "
+                "partition=True"
+            )
         if use_partition:
             if self._solver == "dpll":
                 raise ConfigurationError(
@@ -277,6 +370,8 @@ class ConfigurationEngine:
                     "DPLL ablation baseline has no canonical "
                     "decomposition)"
                 )
+            if use_workers is not None:
+                return self._configure_parallel(partial, use_workers)
             return self._configure_partitioned(partial)
         timings = PhaseTimings()
         started = time.perf_counter()
@@ -406,6 +501,110 @@ class ConfigurationEngine:
             timings.encode_ms += stats.encode_ms
             timings.solve_ms += stats.solve_ms
             timings.propagate_ms += stats.propagate_ms
+
+        tick = time.perf_counter()
+        spec = merge_component_specs(specs)
+        timings.propagate_ms += (time.perf_counter() - tick) * 1000.0
+        emit_config_trace(self._tracer, timings, partition=info)
+        return ConfigurationResult(
+            spec=spec,
+            graph=graph,
+            formula=None,
+            model=named_model,
+            constraint_stats=aggregate_constraints,
+            solver_stats=aggregate_solver,
+            deployed_ids=deployed,
+            timings=timings,
+            partition=info,
+        )
+
+    def _configure_parallel(
+        self, partial: PartialInstallSpec, workers: int
+    ) -> ConfigurationResult:
+        """The partitioned pipeline fanned out over the process pool.
+
+        Workers run the exact per-component sequence of
+        :meth:`_configure_partitioned`; the parent merges outcomes in
+        component-index order, so the result is bit-identical to the
+        serial partitioned (and monolithic) pipeline.
+        """
+        from repro.config.parallel import resolve_workers
+
+        timings = PhaseTimings()
+        started = time.perf_counter()
+        graph = generate_graph(
+            self._registry, partial, peer_policy=self._peer_policy
+        )
+        ticked = time.perf_counter()
+        timings.graph_ms = (ticked - started) * 1000.0
+        parts = partition_graph(graph)
+        started = time.perf_counter()
+        timings.partition_ms = (started - ticked) * 1000.0
+
+        if not parts.components:
+            info = PartitionInfo(
+                partition_ms=timings.partition_ms,
+                workers=resolve_workers(workers),
+            )
+            emit_config_trace(self._tracer, timings, partition=info)
+            return ConfigurationResult(
+                spec=merge_component_specs([]), graph=graph, formula=None,
+                model={}, constraint_stats=ConstraintStats(0, 0, 0, 0),
+                solver_stats=SolverStats(components=0), deployed_ids=set(),
+                timings=timings, partition=info,
+            )
+
+        pool = self._ensure_pool(workers)
+        info = PartitionInfo(
+            partition_ms=timings.partition_ms, workers=pool.workers
+        )
+        tick = time.perf_counter()
+        outcomes = pool.run_components(parts.components)
+        timings.parallel_wall_ms = (time.perf_counter() - tick) * 1000.0
+
+        failure = next(
+            (o for o in outcomes if o.status != "sat"), None
+        )  # outcomes are index-sorted: this is the serial first failure
+        if failure is not None:
+            timings.encode_ms += failure.encode_ms
+            timings.solve_ms += failure.solve_ms
+            if failure.status == "unsat":
+                raise_unsatisfiable(
+                    self._registry, partial, graph,
+                    explain=self._explain_unsat, partition=True,
+                )
+            raise failure.error
+
+        aggregate_constraints = ConstraintStats(0, 0, 0, 0)
+        aggregate_solver = SolverStats(components=len(parts.components))
+        named_model: dict[str, bool] = {}
+        deployed: set[str] = set()
+        specs: list[InstallSpec] = []
+        for component, outcome in zip(parts.components, outcomes):
+            named_model.update(outcome.named_model)
+            deployed |= outcome.deployed
+            specs.append(InstallSpec(outcome.instances))
+            _accumulate_constraint_stats(
+                aggregate_constraints, outcome.constraint_stats
+            )
+            _accumulate_solver_stats(aggregate_solver, outcome.solver_stats)
+            info.components.append(
+                ComponentStats(
+                    index=component.index,
+                    nodes=len(component.graph),
+                    edges=len(component.graph.edges()),
+                    pinned=len(component.pinned),
+                    encode_ms=outcome.encode_ms,
+                    solve_ms=outcome.solve_ms,
+                    propagate_ms=outcome.propagate_ms,
+                    decisions=outcome.solver_stats.decisions,
+                    conflicts=outcome.solver_stats.conflicts,
+                    worker=outcome.worker,
+                )
+            )
+            timings.encode_ms += outcome.encode_ms
+            timings.solve_ms += outcome.solve_ms
+            timings.propagate_ms += outcome.propagate_ms
 
         tick = time.perf_counter()
         spec = merge_component_specs(specs)

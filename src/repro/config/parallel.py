@@ -1,0 +1,500 @@
+"""Parallel component configuration on a persistent process pool.
+
+The component partition (:mod:`repro.config.partition`) makes fleet
+configuration embarrassingly parallel: components share no variables, so
+encode -> solve -> decode -> propagate -> typecheck for one component
+never reads another's state.  This module fans those per-component
+pipelines out across a pool of long-lived worker processes:
+
+* the **pool** (:class:`WorkerPool`) forks one process per worker; each
+  inherits (or, under spawn, is shipped) the resource-type registry and
+  the engine options once, then serves any number of ``run`` requests
+  over a private pipe;
+* **assignment is static and deterministic**: component ``i`` always
+  goes to worker ``i % workers``.  Results never depend on scheduling --
+  the parent collects every outcome and merges them in component-index
+  order, so the merged specification, model, and deployed set are
+  bit-identical to the serial partitioned pipeline (and hence to the
+  monolithic one);
+* the **pickling boundary** is narrow and explicit: a request carries a
+  :class:`~repro.config.partition.GraphComponent` (plain dataclasses
+  over the shared ``GraphNode``/``HyperEdge`` shapes); a reply carries a
+  :class:`ComponentOutcome` -- the propagated instances, the named
+  model, the decoded outcome, and the worker-measured phase timings.
+  Solvers, formulas, and learned clauses never cross the boundary;
+* **warm worker caches** back configuration sessions: with
+  ``keep=True`` a worker retains encoding + persistent incremental
+  solver per ``(fingerprint, component index)``, so repeated session
+  calls re-solve under assumptions without re-encoding or re-pickling
+  the component, and skip re-propagation when the decoded outcome is
+  unchanged (it always is for a fixed fingerprint -- the canonical
+  decode is deterministic).  Caches are keyed by the partial-spec
+  fingerprint, so distinct partial specs can never observe each other's
+  state;
+* **failures stay diagnosable**: an UNSAT verdict or a raised error is
+  reported per component; the caller re-runs
+  :func:`repro.config.explain.explain_unsat` in the parent so the
+  Theorem 1 message is byte-identical to the serial one no matter which
+  worker hit the conflict.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import weakref
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.core.registry import ResourceTypeRegistry
+from repro.config.constraints import (
+    ConstraintStats,
+    fact_literals,
+    generate_constraints,
+    selected_nodes,
+)
+from repro.config.engine import canonical_model
+from repro.config.partition import GraphComponent
+from repro.config.propagation import propagate
+from repro.config.typecheck import check_spec
+from repro.sat.encodings import ExactlyOneEncoding
+from repro.sat.solver import CdclSolver, SolverStats
+
+
+def resolve_workers(workers: int) -> int:
+    """Resolve the ``workers`` knob: 0 means one per available core."""
+    if workers < 0:
+        raise ConfigurationError("workers must be >= 0 (0 = one per core)")
+    if workers > 0:
+        return workers
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # platforms without CPU affinity
+        return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class ComponentOutcome:
+    """Everything one worker computed for one component (picklable).
+
+    ``status`` is ``"sat"``, ``"unsat"``, ``"need"`` (the worker was
+    asked to reuse a cache entry it does not hold -- the pool reseeds
+    transparently), or ``"error"`` (``error`` carries the exception).
+    ``instances`` is None when the worker skipped re-propagation because
+    the decoded outcome matched its previous call for this cache entry.
+    """
+
+    index: int
+    status: str
+    worker: int = -1
+    named_model: dict[str, bool] = field(default_factory=dict)
+    deployed: frozenset = frozenset()
+    choices: dict = field(default_factory=dict)
+    instances: Optional[tuple] = None
+    constraint_stats: Optional[ConstraintStats] = None
+    solver_stats: Optional[SolverStats] = None
+    encode_ms: float = 0.0
+    solve_ms: float = 0.0
+    propagate_ms: float = 0.0
+    #: True when this call built the encoding (a worker-side cache miss).
+    encoded: bool = False
+    #: True when a previously built persistent solver answered the call.
+    solver_reused: bool = False
+    error: Optional[BaseException] = None
+
+
+class _WorkerEntry:
+    """Warm per-(fingerprint, component) state held inside a worker."""
+
+    __slots__ = (
+        "component", "formula", "constraint_stats", "assumptions",
+        "solver", "canonical", "prev_outcome",
+    )
+
+    def __init__(self, component, formula, constraint_stats, assumptions):
+        self.component = component
+        self.formula = formula
+        self.constraint_stats = constraint_stats
+        self.assumptions = assumptions
+        self.solver: Optional[CdclSolver] = None
+        self.canonical: Optional[dict[int, bool]] = None
+        #: The (deployed, choices) pair of the previous call, so an
+        #: unchanged outcome skips re-propagation and re-pickling.
+        self.prev_outcome: Optional[tuple] = None
+
+
+def _decode(formula, graph, model) -> tuple[dict[str, bool], set, dict]:
+    named = {
+        str(name): value
+        for name, value in formula.decode_model(model).items()
+    }
+    deployed, choices = selected_nodes(graph, named)
+    return named, deployed, choices
+
+
+def _run_cached(
+    entries: dict,
+    index: int,
+    component: Optional[GraphComponent],
+    registry: ResourceTypeRegistry,
+    encoding: ExactlyOneEncoding,
+    check_types: bool,
+    worker_index: int,
+) -> ComponentOutcome:
+    """The session path: assumption-style encoding, persistent solver."""
+    entry = entries.get(index)
+    encode_ms = 0.0
+    encoded = False
+    if entry is None:
+        if component is None:
+            return ComponentOutcome(
+                index=index, status="need", worker=worker_index
+            )
+        tick = time.perf_counter()
+        formula, constraint_stats = generate_constraints(
+            component.graph, encoding, facts_as_assumptions=True
+        )
+        assumptions = sorted(fact_literals(component.graph, formula).values())
+        entry = _WorkerEntry(component, formula, constraint_stats, assumptions)
+        entries[index] = entry
+        encode_ms = (time.perf_counter() - tick) * 1000.0
+        encoded = True
+
+    tick = time.perf_counter()
+    solver_reused = entry.solver is not None
+    if entry.solver is None:
+        entry.solver = CdclSolver(entry.formula)
+    if not entry.solver.solve(entry.assumptions):
+        return ComponentOutcome(
+            index=index, status="unsat", worker=worker_index,
+            constraint_stats=entry.constraint_stats,
+            solver_stats=replace(entry.solver.stats),
+            encode_ms=encode_ms,
+            solve_ms=(time.perf_counter() - tick) * 1000.0,
+            encoded=encoded, solver_reused=solver_reused,
+        )
+    if entry.solver.stats.conflicts == 0:
+        model = entry.solver.model()
+    else:
+        if entry.canonical is None:
+            entry.canonical = canonical_model(
+                entry.formula, entry.solver, entry.assumptions
+            )
+        model = entry.canonical
+    named, deployed, choices = _decode(
+        entry.formula, entry.component.graph, model
+    )
+    solve_ms = (time.perf_counter() - tick) * 1000.0
+
+    outcome_key = (frozenset(deployed), tuple(sorted(choices.items())))
+    if entry.prev_outcome == outcome_key:
+        return ComponentOutcome(
+            index=index, status="sat", worker=worker_index,
+            named_model=named, deployed=frozenset(deployed), choices=choices,
+            instances=None,
+            constraint_stats=entry.constraint_stats,
+            solver_stats=replace(entry.solver.stats),
+            encode_ms=encode_ms, solve_ms=solve_ms,
+            encoded=encoded, solver_reused=solver_reused,
+        )
+    tick = time.perf_counter()
+    spec = propagate(registry, entry.component.graph, deployed, choices)
+    if check_types:
+        check_spec(registry, spec)
+    entry.prev_outcome = outcome_key
+    return ComponentOutcome(
+        index=index, status="sat", worker=worker_index,
+        named_model=named, deployed=frozenset(deployed), choices=choices,
+        instances=tuple(spec),
+        constraint_stats=entry.constraint_stats,
+        solver_stats=replace(entry.solver.stats),
+        encode_ms=encode_ms, solve_ms=solve_ms,
+        propagate_ms=(time.perf_counter() - tick) * 1000.0,
+        encoded=encoded, solver_reused=solver_reused,
+    )
+
+
+def _run_oneshot(
+    index: int,
+    component: GraphComponent,
+    registry: ResourceTypeRegistry,
+    encoding: ExactlyOneEncoding,
+    check_types: bool,
+    worker_index: int,
+) -> ComponentOutcome:
+    """The engine path: unit-fact encoding, throwaway solver -- the exact
+    per-component sequence of the serial partitioned engine, so stats and
+    models match it bit for bit."""
+    tick = time.perf_counter()
+    formula, constraint_stats = generate_constraints(
+        component.graph, encoding
+    )
+    encode_done = time.perf_counter()
+    solver = CdclSolver(formula)
+    if not solver.solve():
+        return ComponentOutcome(
+            index=index, status="unsat", worker=worker_index,
+            constraint_stats=constraint_stats,
+            solver_stats=replace(solver.stats),
+            encode_ms=(encode_done - tick) * 1000.0,
+            solve_ms=(time.perf_counter() - encode_done) * 1000.0,
+            encoded=True,
+        )
+    model = canonical_model(formula, solver)
+    named, deployed, choices = _decode(formula, component.graph, model)
+    solve_done = time.perf_counter()
+    spec = propagate(registry, component.graph, deployed, choices)
+    if check_types:
+        check_spec(registry, spec)
+    return ComponentOutcome(
+        index=index, status="sat", worker=worker_index,
+        named_model=named, deployed=frozenset(deployed), choices=choices,
+        instances=tuple(spec),
+        constraint_stats=constraint_stats,
+        solver_stats=replace(solver.stats),
+        encode_ms=(encode_done - tick) * 1000.0,
+        solve_ms=(solve_done - encode_done) * 1000.0,
+        propagate_ms=(time.perf_counter() - solve_done) * 1000.0,
+        encoded=True,
+    )
+
+
+def _safe_send(conn, reply: tuple) -> None:
+    """Send ``reply``; degrade unpicklable payloads to structured errors
+    instead of hanging the parent on a never-arriving message."""
+    try:
+        conn.send(reply)
+    except Exception as exc:  # pragma: no cover - defensive
+        fallback = [
+            ComponentOutcome(
+                index=outcome.index, status="error", worker=outcome.worker,
+                error=ConfigurationError(
+                    f"unpicklable worker result: {exc!r}"
+                ),
+            )
+            for outcome in reply[1]
+        ] if reply[0] == "ok" else []
+        conn.send(("ok", fallback))
+
+
+def _worker_main(
+    conn,
+    worker_index: int,
+    registry: ResourceTypeRegistry,
+    encoding: ExactlyOneEncoding,
+    check_types: bool,
+) -> None:
+    """One worker's request loop (runs in the child process)."""
+    cache: dict[str, dict[int, _WorkerEntry]] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "flush":
+            cache.clear()
+            continue
+        if kind == "evict":
+            cache.pop(message[1], None)
+            continue
+        # ("run", fingerprint, keep, [(index, component-or-None), ...])
+        _, fingerprint, keep, batch = message
+        outcomes = []
+        for index, component in batch:
+            try:
+                if keep:
+                    outcome = _run_cached(
+                        cache.setdefault(fingerprint, {}), index, component,
+                        registry, encoding, check_types, worker_index,
+                    )
+                else:
+                    outcome = _run_oneshot(
+                        index, component, registry, encoding, check_types,
+                        worker_index,
+                    )
+            except Exception as exc:
+                outcome = ComponentOutcome(
+                    index=index, status="error", worker=worker_index,
+                    error=exc,
+                )
+            outcomes.append(outcome)
+        _safe_send(conn, ("ok", outcomes))
+    conn.close()
+
+
+def _shutdown(processes, conns) -> None:
+    """Best-effort pool teardown (also the GC finalizer)."""
+    for conn in conns:
+        try:
+            conn.send(("stop",))
+        except Exception:
+            pass
+    for conn in conns:
+        try:
+            conn.close()
+        except Exception:
+            pass
+    for process in processes:
+        process.join(timeout=1.0)
+    for process in processes:
+        if process.is_alive():  # pragma: no cover - defensive
+            process.terminate()
+            process.join(timeout=1.0)
+
+
+class WorkerPool:
+    """A persistent pool of configuration worker processes.
+
+    Prefers the ``fork`` start method (workers inherit the registry at
+    no serialisation cost); falls back to the platform default, where
+    the registry and options are pickled once per worker.  Workers are
+    daemonic and additionally reaped by a GC finalizer, so an unclosed
+    pool cannot outlive its owner.
+    """
+
+    def __init__(
+        self,
+        registry: ResourceTypeRegistry,
+        *,
+        workers: int = 0,
+        encoding: ExactlyOneEncoding = ExactlyOneEncoding.PAIRWISE,
+        check_types: bool = True,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        #: The registry mutation counter the workers were built from;
+        #: owners recycle the pool when the parent registry moves on.
+        self.registry_version = registry.version
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else None
+        context = multiprocessing.get_context(start_method)
+        self._conns = []
+        self._processes = []
+        for worker_index in range(self.workers):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn, worker_index, registry, encoding,
+                      check_types),
+                daemon=True,
+                name=f"engage-config-worker-{worker_index}",
+            )
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._processes.append(process)
+        #: Fingerprints whose components every worker has been sent.
+        self._seeded: set[str] = set()
+        self.closed = False
+        self._finalizer = weakref.finalize(
+            self, _shutdown, list(self._processes), list(self._conns)
+        )
+
+    # -- Dispatch --------------------------------------------------------
+
+    def run_components(
+        self,
+        components: list[GraphComponent],
+        *,
+        fingerprint: str = "",
+        keep: bool = False,
+    ) -> list[ComponentOutcome]:
+        """Run every component and return outcomes in index order.
+
+        With ``keep`` the workers cache encoding + solver under
+        ``fingerprint`` (the session path); already-seeded fingerprints
+        send bare indexes instead of re-pickling the component graphs.
+        """
+        if self.closed:
+            raise ConfigurationError("the worker pool is closed")
+        if not components:
+            return []
+        reuse = keep and fingerprint in self._seeded
+        outcomes = self._dispatch(components, fingerprint, keep, reuse)
+        if keep and any(o.status == "need" for o in outcomes):
+            # A worker lost its cache (cannot happen in the mirrored
+            # parent/worker lifecycle, but self-heal rather than fail).
+            self._seeded.discard(fingerprint)
+            outcomes = self._dispatch(components, fingerprint, keep, False)
+        if keep:
+            self._seeded.add(fingerprint)
+        return outcomes
+
+    def _dispatch(self, components, fingerprint, keep, reuse):
+        batches: list[list[tuple[int, Any]]] = [
+            [] for _ in range(self.workers)
+        ]
+        for component in components:
+            payload = None if reuse else component
+            batches[component.index % self.workers].append(
+                (component.index, payload)
+            )
+        pending = []
+        for worker_index, batch in enumerate(batches):
+            if not batch:
+                continue
+            self._send(worker_index, ("run", fingerprint, keep, batch))
+            pending.append(worker_index)
+        outcomes: list[ComponentOutcome] = []
+        for worker_index in pending:
+            try:
+                reply = self._conns[worker_index].recv()
+            except (EOFError, OSError):
+                raise ConfigurationError(
+                    f"configuration worker {worker_index} exited "
+                    "unexpectedly"
+                ) from None
+            outcomes.extend(reply[1])
+        outcomes.sort(key=lambda outcome: outcome.index)
+        return outcomes
+
+    def _send(self, worker_index: int, message: tuple) -> None:
+        try:
+            self._conns[worker_index].send(message)
+        except (BrokenPipeError, OSError):
+            raise ConfigurationError(
+                f"configuration worker {worker_index} is gone (broken pipe)"
+            ) from None
+
+    # -- Cache hygiene ---------------------------------------------------
+
+    def seeded(self, fingerprint: str) -> bool:
+        return fingerprint in self._seeded
+
+    def evict(self, fingerprint: str) -> None:
+        """Drop the workers' caches for one fingerprint (LRU eviction)."""
+        if self.closed or fingerprint not in self._seeded:
+            return
+        self._seeded.discard(fingerprint)
+        for worker_index in range(self.workers):
+            self._send(worker_index, ("evict", fingerprint))
+
+    def flush(self) -> None:
+        """Drop every worker-side cache."""
+        if self.closed:
+            return
+        self._seeded.clear()
+        for worker_index in range(self.workers):
+            self._send(worker_index, ("flush",))
+
+    # -- Lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop and reap every worker (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        self._finalizer.detach()
+        _shutdown(self._processes, self._conns)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -48,6 +48,9 @@ class ComponentStats:
     propagate_ms: float = 0.0
     decisions: int = 0
     conflicts: int = 0
+    #: Worker-process index that solved this component, or -1 when the
+    #: component ran in-process (serial partitioned pipeline).
+    worker: int = -1
 
 
 @dataclass
@@ -56,6 +59,9 @@ class PartitionInfo:
 
     components: list[ComponentStats] = field(default_factory=list)
     partition_ms: float = 0.0
+    #: Process-pool size when the components were solved in parallel;
+    #: 0 means the serial in-process pipeline.
+    workers: int = 0
 
     @property
     def count(self) -> int:

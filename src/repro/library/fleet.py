@@ -189,6 +189,41 @@ def write_fleet_spec(path: str, topology: FleetTopology) -> None:
         handle.write(fleet_spec_json(topology))
 
 
+def configure_fleet(
+    topology: FleetTopology,
+    *,
+    registry=None,
+    partition: bool = True,
+    workers: int | None = None,
+):
+    """Generate and configure ``topology``; return ``(result, seconds)``.
+
+    The scale-experiment entry point: builds the partial specification,
+    runs it through a :class:`~repro.config.ConfigurationEngine`
+    (partitioned by default, on a ``workers``-sized process pool when
+    requested), and reports the configure wall time.
+    """
+    import time
+
+    from repro.config import ConfigurationEngine
+    from repro.library import standard_registry
+
+    if registry is None:
+        registry = standard_registry()
+    partial = fleet_partial(topology)
+    engine = ConfigurationEngine(
+        registry, partition=partition, workers=workers,
+        verify_registry=False,
+    )
+    try:
+        started = time.perf_counter()
+        result = engine.configure(partial)
+        elapsed = time.perf_counter() - started
+    finally:
+        engine.close()
+    return result, elapsed
+
+
 def _main(argv: list[str] | None = None) -> int:
     import argparse
 
@@ -204,11 +239,47 @@ def _main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("-o", "--output", default=None,
                         help="write here instead of stdout")
+    parser.add_argument(
+        "--configure", action="store_true",
+        help="configure the generated fleet and print throughput "
+        "instead of emitting the spec JSON",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="with --configure: solve components on a process pool of "
+        "N workers (0 = one per core)",
+    )
+    parser.add_argument(
+        "--no-partition", dest="partition", action="store_false",
+        default=True,
+        help="with --configure: force the monolithic pipeline",
+    )
     args = parser.parse_args(argv)
     topology = FleetTopology(
         replicas=args.replicas, machines=args.machines,
         stacks=tuple(args.stacks),
     )
+    if args.configure:
+        if args.workers is not None and not args.partition:
+            parser.error("--workers requires the partitioned pipeline")
+        result, elapsed = configure_fleet(
+            topology, partition=args.partition, workers=args.workers,
+        )
+        nodes = len(result.spec)
+        label = (
+            f"{result.partition.count} components"
+            if result.partition is not None else "monolithic"
+        )
+        pool = (
+            f" on {result.partition.workers} workers"
+            if result.partition is not None and result.partition.workers
+            else ""
+        )
+        print(
+            f"configured {nodes} nodes ({label}{pool}) in "
+            f"{elapsed:.2f}s -- {nodes / elapsed:.0f} nodes/sec"
+        )
+        return 0
     text = fleet_spec_json(topology)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
