@@ -363,7 +363,35 @@ def _load_bundle(path: str):
 
 
 def cmd_status(args, out: TextIO) -> int:
-    _, infrastructure, _, system, _ = _load_bundle(args.bundle)
+    _, infrastructure, _, system, journal = _load_bundle(args.bundle)
+    if getattr(args, "json", False):
+        import json
+
+        from repro.drivers.state_machine import ACTIVE
+        from repro.runtime import detect_drift
+
+        target = journal.target if journal is not None else ACTIVE
+        drift = detect_drift(system, target=target)
+        payload = {
+            "bundle": args.bundle,
+            "clock_seconds": infrastructure.clock.now,
+            "converged": drift.is_converged,
+            "instances": system.states(),
+            "drift": drift.to_payload(),
+            "journal": None,
+        }
+        if journal is not None:
+            payload["journal"] = {
+                "target": journal.target,
+                "entries": len(journal.entries),
+                "completed": len(journal.completed),
+                "failed": sorted(journal.failed),
+                "skipped": sorted(journal.skipped),
+                "frontier": journal.states(),
+                "diff": journal.diff(system.spec).to_payload(),
+            }
+        out.write(json.dumps(payload, indent=1) + "\n")
+        return 0 if drift.is_converged else 1
     out.write(system.describe() + "\n")
     out.write(
         f"simulated clock: {infrastructure.clock.now / 60:.1f} minutes\n"
@@ -461,6 +489,69 @@ def cmd_watch(args, out: TextIO) -> int:
         out.write("all services healthy.\n")
     _save_bundle(args.bundle, registry, infrastructure, system)
     return 0
+
+
+def cmd_reconcile(args, out: TextIO) -> int:
+    """Run the autonomic reconcile loop against a saved deployment."""
+    import json
+
+    from repro.runtime import ReconcileController
+    from repro.sim import MachineChurn
+
+    registry, infrastructure, drivers, system, journal = _load_bundle(
+        args.bundle
+    )
+    tracer = _install_tracer(args, infrastructure)
+    policy = _retry_policy_from_args(args)
+    engine = DeploymentEngine(registry, infrastructure, drivers)
+    churn = None
+    if args.churn_rate > 0.0:
+        churn = MachineChurn(
+            system, seed=args.churn_seed, rate=args.churn_rate
+        )
+        out.write(
+            f"churn: losing machines (seed={args.churn_seed}, "
+            f"rate={args.churn_rate})\n"
+        )
+    watching = args.watch or churn is not None
+    controller = ReconcileController(
+        engine, system, journal=journal, policy=policy,
+        jobs=args.jobs, jobs_per_host=args.jobs_per_host,
+        interval=args.interval if watching else 0.0,
+    )
+    rounds = args.max_rounds if watching else 1
+    result = controller.run(rounds=rounds, churn=churn)
+    for round_ in result.rounds:
+        status = "converged" if round_.converged else "DRIFTED"
+        detail = ""
+        if round_.drift_items:
+            kinds = ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(round_.drift_by_kind.items())
+            )
+            detail = (
+                f" drift={round_.drift_items} ({kinds}) "
+                f"plan={round_.plan_size} "
+                f"repair={round_.time_to_repair:.1f}s"
+            )
+        if round_.error:
+            detail += f" error: {round_.error}"
+        out.write(f"round {round_.index}: {status}{detail}\n")
+    if result.rounds_with_drift:
+        out.write(
+            f"median time-to-repair: "
+            f"{result.median_time_to_repair:.1f}s over "
+            f"{result.rounds_with_drift} drifted round(s)\n"
+        )
+    if args.json:
+        out.write(json.dumps(result.to_payload(), indent=1) + "\n")
+    _finish_trace(args, tracer, out)
+    if result.converged:
+        _save_bundle(args.bundle, registry, infrastructure, system, journal)
+        out.write("converged; bundle updated.\n")
+        return 0
+    out.write("NOT converged; bundle left untouched.\n")
+    return 1
 
 
 def _publish_missing_artifacts(registry, infrastructure) -> None:
@@ -875,8 +966,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a plain-text metrics summary after the deployment",
     )
 
+    status = sub.add_parser(
+        "status", help="show the state of a saved deployment"
+    )
+    status.add_argument(
+        "bundle", metavar="BUNDLE",
+        help="bundle file written by 'deploy --save'",
+    )
+    status.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable drift/journal summary (exit 0 "
+        "iff the deployment matches its goal)",
+    )
+
     for name, help_text in (
-        ("status", "show the state of a saved deployment"),
         ("stop", "stop a saved deployment (reverse dependency order)"),
         ("start", "start a saved deployment (dependency order)"),
         ("watch", "restart any failed services of a saved deployment"),
@@ -899,6 +1002,70 @@ def build_parser() -> argparse.ArgumentParser:
     upgrade.add_argument(
         "--strategy", choices=("replace", "in_place"), default="replace",
         help="worst-case replace (paper) or in-place (extension)",
+    )
+
+    reconcile = sub.add_parser(
+        "reconcile",
+        help="detect drift and repair a saved deployment (self-healing)",
+    )
+    reconcile.add_argument(
+        "bundle", metavar="BUNDLE",
+        help="bundle file written by 'deploy --save'",
+    )
+    reconcile.add_argument(
+        "--watch", action="store_true",
+        help="keep polling for up to --max-rounds rounds instead of a "
+        "single detect-and-repair pass",
+    )
+    reconcile.add_argument(
+        "--max-rounds", type=int, default=10, metavar="N",
+        help="rounds to run with --watch or churn (default 10)",
+    )
+    reconcile.add_argument(
+        "--interval", type=float, default=30.0, metavar="SECONDS",
+        help="simulated seconds between rounds (default 30)",
+    )
+    reconcile.add_argument(
+        "--churn-rate", type=float, default=0.0, metavar="RATE",
+        help="per-round probability of each machine being permanently "
+        "lost (chaos soak; implies multiple rounds)",
+    )
+    reconcile.add_argument(
+        "--churn-seed", type=int, default=0, metavar="SEED",
+        help="seed for --churn-rate machine-loss decisions",
+    )
+    reconcile.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="retry each failing repair action up to N times",
+    )
+    reconcile.add_argument(
+        "--backoff", type=float, default=None, metavar="SECONDS",
+        help="base backoff between retries",
+    )
+    reconcile.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-action simulated-time budget",
+    )
+    reconcile.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="execute repairs with the parallel scheduler using N "
+        "simulated workers (0 = unbounded; default: serial)",
+    )
+    reconcile.add_argument(
+        "--jobs-per-host", type=int, default=None, metavar="N",
+        help="with --jobs: at most N concurrent instances per machine",
+    )
+    reconcile.add_argument(
+        "--json", action="store_true",
+        help="emit the per-round reconcile result as JSON",
+    )
+    reconcile.add_argument(
+        "--trace", metavar="FILE",
+        help="write a Chrome trace-event JSON file of the repair rounds",
+    )
+    reconcile.add_argument(
+        "--metrics", action="store_true",
+        help="print a plain-text metrics summary after the run",
     )
 
     inject = sub.add_parser(
@@ -948,6 +1115,7 @@ _COMMANDS = {
     "stop": cmd_stop,
     "start": cmd_start,
     "watch": cmd_watch,
+    "reconcile": cmd_reconcile,
     "upgrade": cmd_upgrade,
     "inject-fault": cmd_inject_fault,
     "trace": cmd_trace,

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.core.instances import InstallSpec, PartialInstallSpec
 from repro.core.registry import ResourceTypeRegistry
@@ -591,6 +591,90 @@ class ConfigurationSession:
             cache=cache,
             partition=info,
         )
+
+    def reconfigure_components(
+        self,
+        partial: PartialInstallSpec,
+        instance_ids: Iterable[str],
+    ) -> InstallSpec:
+        """Re-solve and re-propagate only the components containing
+        ``instance_ids``; returns their merged full specification.
+
+        This is the reconcile loop's goal-revalidation path: after a
+        machine loss the controller re-derives just the affected slice
+        of the goal and checks it still matches what it is about to
+        redeploy.  The *cached full-graph partition* is what makes the
+        result bit-identical to the matching slice of the full
+        specification: generated node ids are numbered globally per
+        graph, so configuring a smaller partial from scratch would
+        renumber them.  Cold calls (no cached entry for ``partial``) run
+        a full partitioned :meth:`configure` first.
+
+        In-process partitioned mode only -- worker-resident solvers
+        answer whole-fingerprint queries, not per-component ones.
+        """
+        wanted = set(instance_ids)
+        if not wanted:
+            raise ConfigurationError(
+                "reconfigure_components needs at least one instance id"
+            )
+        if self._solver == "dpll":
+            raise ConfigurationError(
+                "partitioned solving requires the cdcl solver (the DPLL "
+                "ablation baseline has no canonical decomposition)"
+            )
+        self._revalidate()
+        key = (True, fingerprint_partial(partial))
+        entry = self._lookup(key)
+        if entry is None:
+            self.configure(partial, partition=True, workers=None)
+            entry = self._lookup(key)
+            assert entry is not None  # configure() just stored it
+        affected: list[_ComponentEntry] = []
+        covered: set[str] = set()
+        for comp in entry.components:
+            hit = {iid for iid in wanted if iid in comp.component.graph}
+            if hit:
+                affected.append(comp)
+                covered |= hit
+        missing = wanted - covered
+        if missing:
+            raise ConfigurationError(
+                "reconfigure_components: instances not in the configured "
+                f"graph: {sorted(missing)}"
+            )
+        specs: list[InstallSpec] = []
+        for comp in affected:
+            if comp.solver is None:
+                comp.solver = CdclSolver(comp.formula)
+                self.stats.solver_builds += 1
+            else:
+                self.stats.solver_reuses += 1
+            if not comp.solver.solve(comp.assumptions):
+                raise_unsatisfiable(
+                    self._registry, partial, entry.graph,
+                    explain=self._explain_unsat, partition=True,
+                )
+            if comp.solver.stats.conflicts == 0:
+                model = comp.solver.model()
+            else:
+                if comp.canonical is None:
+                    comp.canonical = canonical_model(
+                        comp.formula, comp.solver, comp.assumptions
+                    )
+                model = comp.canonical
+            named = {
+                str(name): value
+                for name, value in comp.formula.decode_model(model).items()
+            }
+            deployed, choices = selected_nodes(comp.component.graph, named)
+            component_spec = propagate(
+                self._registry, comp.component.graph, deployed, choices
+            )
+            if self._check_types:
+                check_spec(self._registry, component_spec)
+            specs.append(component_spec)
+        return merge_component_specs(specs)
 
     # -- The parallel pipeline -------------------------------------------
 

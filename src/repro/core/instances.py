@@ -149,18 +149,30 @@ class InstallSpec:
 
     def __init__(self, instances: Iterable[ResourceInstance] = ()) -> None:
         self._instances: dict[str, ResourceInstance] = {}
+        # Lazy derived views: the reverse-dependency index and the
+        # topological order.  Guard checking asks for downstream
+        # neighbours once per transition, so without the index a
+        # fleet-sized drive is O(N^2) in full-spec scans.
+        self._downstream: Optional[dict[str, list[str]]] = None
+        self._topo_order: Optional[list[ResourceInstance]] = None
         for instance in instances:
             self.add(instance)
+
+    def _invalidate(self) -> None:
+        self._downstream = None
+        self._topo_order = None
 
     def add(self, instance: ResourceInstance) -> None:
         if instance.id in self._instances:
             raise SpecError(f"duplicate instance id: {instance.id}")
         self._instances[instance.id] = instance
+        self._invalidate()
 
     def replace_instance(self, instance: ResourceInstance) -> None:
         if instance.id not in self._instances:
             raise SpecError(f"no instance {instance.id!r} to replace")
         self._instances[instance.id] = instance
+        self._invalidate()
 
     def __iter__(self) -> Iterator[ResourceInstance]:
         return iter(self._instances.values())
@@ -192,18 +204,24 @@ class InstallSpec:
 
     def downstream_ids(self, instance_id: str) -> list[str]:
         """Ids of instances that directly depend on ``instance_id``."""
-        return [
-            inst.id
-            for inst in self
-            if instance_id in inst.upstream_ids()
-        ]
+        if self._downstream is None:
+            index: dict[str, list[str]] = {}
+            for inst in self:
+                for upstream in inst.upstream_ids():
+                    index.setdefault(upstream, []).append(inst.id)
+            self._downstream = index
+        return list(self._downstream.get(instance_id, ()))
 
     def topological_order(self) -> list[ResourceInstance]:
         """Instances ordered so dependencies precede dependents.
 
         This is the install order of S5.2; raises :class:`CycleError` if
-        the links are cyclic (a full spec must be a DAG).
+        the links are cyclic (a full spec must be a DAG).  The order is
+        computed once and cached until the spec is mutated; callers get
+        a fresh list, so reordering/slicing it cannot corrupt the cache.
         """
+        if self._topo_order is not None:
+            return list(self._topo_order)
         in_degree: dict[str, int] = {iid: 0 for iid in self._instances}
         dependents: dict[str, list[str]] = {iid: [] for iid in self._instances}
         for instance in self:
@@ -231,7 +249,8 @@ class InstallSpec:
             raise CycleError(
                 f"dependency cycle among instances: {', '.join(remaining)}"
             )
-        return order
+        self._topo_order = order
+        return list(order)
 
     def machine_order(self) -> list[str]:
         """Machines partially ordered by cross-machine dependencies (S5.2).

@@ -197,3 +197,11 @@ class ServiceDriver(PackageDriver):
         """Take ownership of a replacement process (used by the monitor
         after it restarts a failed service)."""
         self._process = process
+
+    def discard_process(self) -> None:
+        """Forget the managed process without stopping it.
+
+        Used when the machine hosting it is gone (permanent loss):
+        there is nothing left to stop, and a later redeploy must not
+        try to kill a pid on a dead host."""
+        self._process = None

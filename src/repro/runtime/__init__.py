@@ -15,7 +15,7 @@ from repro.runtime.deploy import (
     DeploymentReport,
     standard_driver_registry,
 )
-from repro.runtime.journal import DeploymentJournal, JournalEntry
+from repro.runtime.journal import DeploymentJournal, JournalDiff, JournalEntry
 from repro.runtime.monitor import (
     MONIT_KEY,
     MonitorEvent,
@@ -26,6 +26,20 @@ from repro.runtime.provision import (
     discover_machine,
     machine_os_identity,
     provision_partial_spec,
+)
+from repro.runtime.reconcile import (
+    DriftItem,
+    DriftKind,
+    DriftReport,
+    ReconcileController,
+    ReconcileResult,
+    ReconcileRound,
+    RepairOp,
+    RepairStep,
+    TransitionPlan,
+    detect_drift,
+    execute_plan,
+    plan_repair,
 )
 from repro.runtime.retry import DEFAULT_CHAOS_POLICY, RetryPolicy
 from repro.runtime.scheduler import DagScheduler, execute_serial
@@ -52,7 +66,20 @@ __all__ = [
     "DagScheduler",
     "DeploymentJournal",
     "DeploymentReport",
+    "DriftItem",
+    "DriftKind",
+    "DriftReport",
+    "JournalDiff",
+    "ReconcileController",
+    "ReconcileResult",
+    "ReconcileRound",
+    "RepairOp",
+    "RepairStep",
+    "TransitionPlan",
+    "detect_drift",
+    "execute_plan",
     "execute_serial",
+    "plan_repair",
     "JOURNAL_FORMAT",
     "JournalEntry",
     "RetryPolicy",

@@ -20,7 +20,7 @@ wall-clock rather than a post-hoc formula.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.core.errors import (
     ActionTimeout,
@@ -545,7 +545,33 @@ class DeploymentEngine:
                 f"(upstream={upstream}, downstream={downstream})"
             )
 
-    # -- Partial operations (used by the in-place upgrade strategy) -------
+    # -- Partial operations (used by upgrades and the reconcile loop) -----
+
+    def drive_instances(
+        self,
+        system: DeployedSystem,
+        instance_ids: Iterable[str],
+        target: str,
+        *,
+        reverse: bool = False,
+        policy: Optional[RetryPolicy] = None,
+        journal: Optional[DeploymentJournal] = None,
+        jobs: Optional[int] = None,
+        jobs_per_host: Optional[int] = None,
+    ) -> DeploymentReport:
+        """Drive just ``instance_ids`` to ``target``: the delta-repair
+        entry point.
+
+        The reconcile planner computes a minimal instance set and this
+        method executes it through the regular serial/DAG machinery --
+        guards, retries, and write-ahead journalling included.  Guards
+        are checked against the *global* state, so instances outside the
+        set safely anchor the guards of those inside it."""
+        return self._drive(
+            system, target, reverse=reverse, only=set(instance_ids),
+            policy=policy, journal=journal,
+            jobs=jobs, jobs_per_host=jobs_per_host,
+        )
 
     def prepare(
         self,

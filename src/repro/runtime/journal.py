@@ -23,7 +23,7 @@ from typing import Iterable, Optional
 
 from repro.core.errors import RuntimeEngageError
 from repro.core.instances import InstallSpec
-from repro.drivers.state_machine import ACTIVE
+from repro.drivers.state_machine import ACTIVE, UNINSTALLED
 
 
 @dataclass
@@ -70,6 +70,36 @@ class JournalEntry:
         return entry
 
 
+@dataclass
+class JournalDiff:
+    """How the journal's record diverges from a goal specification.
+
+    ``missing`` lists goal instances never completed (in goal order),
+    ``extra`` lists journalled instances absent from the goal, and
+    ``failed``/``skipped`` echo the journal's failure partition
+    restricted to the goal.  An all-empty diff means the journal claims
+    the goal is met -- a *record-level* statement; :mod:`reconcile
+    <repro.runtime.reconcile>` checks the live world on top of it.
+    """
+
+    missing: list[str] = field(default_factory=list)
+    extra: list[str] = field(default_factory=list)
+    failed: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.missing or self.extra or self.failed or self.skipped)
+
+    def to_payload(self) -> dict:
+        return {
+            "missing": list(self.missing),
+            "extra": list(self.extra),
+            "failed": list(self.failed),
+            "skipped": list(self.skipped),
+        }
+
+
 class DeploymentJournal:
     """An append-only record of one deployment pass over a spec."""
 
@@ -101,6 +131,33 @@ class DeploymentJournal:
 
     def mark_skipped(self, instance_ids: Iterable[str]) -> None:
         self.skipped.update(instance_ids)
+
+    def mark_lost(
+        self,
+        instance_id: str,
+        source: str,
+        timestamp: float,
+        *,
+        reason: str = "machine-lost",
+    ) -> None:
+        """Record an *observed* regression to ``uninstalled``.
+
+        When drift detection finds that the world moved beneath the
+        journal (a machine was lost, taking its instances with it), the
+        frontier must follow the facts: a pseudo-action entry
+        (``observe:<reason>``, ``source`` -> ``uninstalled``) keeps the
+        per-instance entry chain valid, and the instance leaves the
+        completed partition so :meth:`remaining` re-includes it."""
+        self.record(
+            JournalEntry(
+                instance_id=instance_id,
+                action=f"observe:{reason}",
+                source=source,
+                target=UNINSTALLED,
+                timestamp=timestamp,
+            )
+        )
+        self.completed.discard(instance_id)
 
     def reset_frontier(self) -> None:
         """Forget failure bookkeeping before a resume re-drives the
@@ -137,6 +194,30 @@ class DeploymentJournal:
             for instance in self.spec.topological_order()
             if instance.id not in self.completed
         ]
+
+    def diff(self, goal_spec: InstallSpec) -> JournalDiff:
+        """Diff this journal's record against ``goal_spec``.
+
+        ``missing`` follows the goal's dependency order (it is a valid
+        work list); ``extra`` collects every journalled instance the
+        goal no longer wants, sorted."""
+        goal_ids = set(goal_spec.ids())
+        journalled = (
+            self.completed
+            | set(self.failed)
+            | self.skipped
+            | {entry.instance_id for entry in self.entries}
+        )
+        return JournalDiff(
+            missing=[
+                instance.id
+                for instance in goal_spec.topological_order()
+                if instance.id not in self.completed
+            ],
+            extra=sorted(journalled - goal_ids),
+            failed=sorted(iid for iid in self.failed if iid in goal_ids),
+            skipped=sorted(iid for iid in self.skipped if iid in goal_ids),
+        )
 
     def is_complete(self) -> bool:
         return not self.remaining()
@@ -177,4 +258,30 @@ class DeploymentJournal:
             raise RuntimeEngageError(
                 f"journal mentions unknown instances: {sorted(unknown)}"
             )
+        # An instance may live in at most one of the three partitions.
+        # mark_completed/mark_failed keep them disjoint at runtime, so a
+        # payload violating this was hand-edited or corrupted -- and a
+        # silent last-write-wins here would fabricate a frontier.
+        overlap = (
+            (journal.completed & set(journal.failed))
+            | (journal.completed & journal.skipped)
+            | (set(journal.failed) & journal.skipped)
+        )
+        if overlap:
+            raise RuntimeEngageError(
+                "journal instances in more than one of completed/failed/"
+                f"skipped: {sorted(overlap)}"
+            )
+        # Per-instance entries must chain: each transition starts where
+        # the previous one left off, or the folded frontier is a lie.
+        last_target: dict[str, str] = {}
+        for entry in journal.entries:
+            previous = last_target.get(entry.instance_id)
+            if previous is not None and entry.source != previous:
+                raise RuntimeEngageError(
+                    f"journal entries for {entry.instance_id!r} do not "
+                    f"chain: {entry.action!r} starts from {entry.source!r} "
+                    f"but the previous entry left it in {previous!r}"
+                )
+            last_target[entry.instance_id] = entry.target
         return journal

@@ -16,6 +16,7 @@ from repro.sim.faults import (
     FaultRule,
     FaultyWorld,
     InjectedFault,
+    MachineChurn,
 )
 from repro.sim.cloud import CloudProvider, MachineImage, standard_images
 from repro.sim.filesystem import VirtualFilesystem
@@ -46,6 +47,7 @@ __all__ = [
     "FaultRule",
     "FaultyWorld",
     "InjectedFault",
+    "MachineChurn",
     "VirtualFilesystem",
     "Infrastructure",
     "Machine",

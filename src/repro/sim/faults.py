@@ -28,6 +28,15 @@ Failure modes (:class:`FaultKind`):
 * ``FLAKY`` -- shorthand for fail-``times``-then-succeed (each failure
   is a ``TransientError``); ``TRANSIENT`` with ``times > 1`` behaves
   identically.
+* ``CRASH`` -- *permanent* loss: the site fails on every attempt with a
+  non-retryable :class:`~repro.core.errors.DriverError` (retrying a
+  lost machine is futile; the reconcile loop repairs by redeploying
+  elsewhere or onto a replacement).  ``times`` is ignored.
+
+:class:`MachineChurn` builds on the injector: a deterministic schedule
+of permanent machine losses (one crash-or-survive draw per live machine
+per round, seeded per ``(seed, round, hostname)`` so the loss schedule
+does not depend on visit order or on how earlier rounds were repaired).
 """
 
 from __future__ import annotations
@@ -38,7 +47,7 @@ from enum import Enum
 from fnmatch import fnmatchcase
 from typing import TYPE_CHECKING, Optional, Sequence
 
-from repro.core.errors import ActionTimeout, TransientError
+from repro.core.errors import ActionTimeout, DriverError, TransientError
 from repro.sim.clock import SimClock
 from repro.sim.process import SimProcess
 
@@ -54,6 +63,7 @@ class FaultKind(Enum):
     TRANSIENT = "transient"
     HANG = "hang"
     FLAKY = "flaky"
+    CRASH = "crash"  # permanent: every attempt fails, non-retryable
 
 
 @dataclass
@@ -194,7 +204,15 @@ class FaultPlan:
         exceeded the budget (a hang within budget is just slowness).
         """
         state = self._state_for(site)
-        if state is None or state.remaining <= 0:
+        if state is None:
+            return
+        if state.kind == FaultKind.CRASH:
+            # Permanent: never decremented, fails every attempt with a
+            # non-retryable error so retry policies give up immediately.
+            state.fired += 1
+            self._record(site, state, clock)
+            raise DriverError(f"{site}: permanent fault (site lost)")
+        if state.remaining <= 0:
             return
         if state.kind == FaultKind.HANG:
             if timeout is not None and state.hang_seconds > timeout:
@@ -270,12 +288,15 @@ class FaultyWorld:
 
 @dataclass
 class FaultRecord:
-    """One injected process failure."""
+    """One injected failure (a process crash or a machine loss)."""
 
     timestamp: float
     process_name: str
     hostname: str
     instance_id: str = ""
+    #: ``"process"`` for the classic injected process failure,
+    #: ``"crash"`` (:attr:`FaultKind.CRASH`) for a permanent machine loss.
+    kind: str = "process"
 
 
 class FaultInjector:
@@ -317,6 +338,49 @@ class FaultInjector:
             self.records.append(record)
         return new_records
 
+    def _live_hostnames(self) -> list[str]:
+        """Hostnames of the system's machines still on the network."""
+        network = self._system.infrastructure.network
+        hostnames = {
+            machine.hostname for machine in self._system.machines.values()
+        }
+        return sorted(h for h in hostnames if network.has_machine(h))
+
+    def crash_machine(self, hostname: str) -> FaultRecord:
+        """Permanently lose one machine (:attr:`FaultKind.CRASH`).
+
+        Every process on it dies, the host (with its bound endpoints)
+        drops off the network, and its package-manager state is
+        forgotten -- from the fleet's point of view the hardware is
+        gone.  Repair is the reconcile loop's job, not the monitor's.
+        """
+        infrastructure = self._system.infrastructure
+        machine = infrastructure.network.machine(hostname)
+        for process in machine.running_processes():
+            process.fail()
+        infrastructure.remove_machine(hostname)
+        record = FaultRecord(
+            timestamp=infrastructure.clock.now,
+            process_name="",
+            hostname=hostname,
+            kind=FaultKind.CRASH.value,
+        )
+        self.records.append(record)
+        tracer = infrastructure.tracer
+        if tracer is not None:
+            tracer.instant(
+                "machine-lost", category="fault",
+                timestamp=record.timestamp, lane=hostname,
+            )
+            tracer.metrics.counter("faults.machines_lost").inc()
+        return record
+
+    def crash_machines(self, count: int = 1) -> list[FaultRecord]:
+        """Permanently lose up to ``count`` random live machines."""
+        candidates = self._live_hostnames()
+        picked = self._rng.sample(candidates, min(count, len(candidates)))
+        return [self.crash_machine(hostname) for hostname in sorted(picked)]
+
     def campaign(
         self,
         monitor: "ProcessMonitor",
@@ -339,3 +403,52 @@ class FaultInjector:
             clock.advance(seconds_between_rounds, "fault-campaign")
             restarted += len(monitor.poll())
         return {"injected": injected, "restarted": restarted}
+
+
+class MachineChurn:
+    """A deterministic schedule of permanent machine losses.
+
+    Each round, every *live* machine of the system independently draws
+    crash-or-survive from ``Random(f"{seed}|{round}|{hostname}")`` --
+    per-site seeding in the :meth:`FaultPlan.seeded` style, so the loss
+    schedule depends only on ``(seed, round, hostname)``: not on the
+    order machines are visited, and not on how earlier rounds were
+    repaired.  Two same-seed runs over the same fleet therefore lose
+    the same machines at the same rounds, which is what makes chaos
+    soaks replayable.
+    """
+
+    def __init__(
+        self,
+        system: "DeployedSystem",
+        *,
+        seed: int = 0,
+        rate: float = 0.05,
+        protect: Sequence[str] = (),
+        max_losses_per_round: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self.seed = seed
+        self.rate = rate
+        self.protect = frozenset(protect)
+        self.max_losses_per_round = max_losses_per_round
+        self.injector = FaultInjector(system, seed=seed)
+
+    @property
+    def records(self) -> list[FaultRecord]:
+        """Every loss fired so far (shared with the injector)."""
+        return self.injector.records
+
+    def round(self, round_index: int) -> list[FaultRecord]:
+        """Fire round ``round_index``'s losses; returns their records."""
+        losses: list[str] = []
+        for hostname in self.injector._live_hostnames():
+            if hostname in self.protect:
+                continue
+            rng = random.Random(f"{self.seed}|{round_index}|{hostname}")
+            if rng.random() < self.rate:
+                losses.append(hostname)
+        if self.max_losses_per_round is not None:
+            losses = losses[: self.max_losses_per_round]
+        return [self.injector.crash_machine(hostname) for hostname in losses]

@@ -76,6 +76,19 @@ class Infrastructure:
     def machine(self, hostname: str) -> Machine:
         return self.network.machine(hostname)
 
+    def remove_machine(self, hostname: str) -> Machine:
+        """Permanently lose a machine: drop it (and its endpoints) from
+        the network and forget its memoised package manager.
+
+        Forgetting the package manager matters for repair: a later
+        replacement machine under the same hostname must get a *fresh*
+        OSLPM bound to the new filesystem, not the dead machine's.
+        Returns the removed machine (its object stays inspectable)."""
+        machine = self.network.machine(hostname)
+        self.network.unregister_machine(hostname)
+        self._oslpm.pop(hostname, None)
+        return machine
+
     def package_manager(self, machine: Machine) -> OsPackageManager:
         """The (memoised) package manager of a machine."""
         manager = self._oslpm.get(machine.hostname)
