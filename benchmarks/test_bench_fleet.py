@@ -170,12 +170,38 @@ def _bench_worker_matrix(registry, sizes, matrix) -> list[dict]:
             assert result.partition.workers == workers
             if base_seconds is None:
                 base_seconds = seconds
-            runs.append({
+            run_row = {
                 "workers": workers,
                 "seconds": round(seconds, 4),
                 "nodes_per_sec": round(nodes / seconds, 1),
                 "speedup_vs_1_worker": round(base_seconds / seconds, 2),
-            })
+            }
+            wire = result.partition.wire
+            if wire is not None:
+                components = result.partition.components
+                run_row["wire_bytes"] = {
+                    "reply": wire.reply_bytes,
+                    "request": wire.request_bytes,
+                    "reply_frames": wire.reply_frames,
+                    "largest_reply": wire.largest_reply_bytes,
+                }
+                run_row["stage_ms"] = {
+                    "dispatch": round(wire.dispatch_ms, 2),
+                    "recv_wait": round(wire.recv_wait_ms, 2),
+                    "encode": round(
+                        sum(c.encode_ms for c in components), 2
+                    ),
+                    "solve": round(
+                        sum(c.solve_ms for c in components), 2
+                    ),
+                    "decode": round(
+                        sum(c.decode_ms for c in components), 2
+                    ),
+                    "propagate": round(
+                        sum(c.propagate_ms for c in components), 2
+                    ),
+                }
+            runs.append(run_row)
         rows.append({
             "replicas": replicas,
             "machines": machines,

@@ -1,0 +1,141 @@
+"""IPC cost of parallel configuration: compact protocol vs the old one.
+
+The parallel-configuration wire protocol ships each component's solver
+model as a signed-literal array plus only the fields the parent cannot
+reconstruct, and shrinks warm-path replies for unchanged models to a
+bare header (see ``repro.config.parallel``).  The protocol it replaced
+shipped, per component and per call, the full decoded ``named_model``
+dict, the ``deployed`` frozenset, the choices map, and (cold) the whole
+propagated instance tuple.
+
+This benchmark runs the ~4096-node fleet through a warm worker pool,
+measures the actual reply bytes (every frame is counted at the pipe),
+reconstructs byte-for-byte what the legacy protocol would have pickled
+for the *same* outcomes, and asserts the warm session path moves at
+least ``WIRE_REDUCTION_FLOOR``x fewer reply bytes.  Results land in the
+``wire`` section of ``benchmarks/BENCH_fleet.json``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.config import generate_graph, propagate
+from repro.config.parallel import WorkerPool, decode_component_model
+from repro.config.partition import partition_graph
+from repro.library.fleet import FleetTopology, fleet_partial
+
+from test_bench_fleet import _update_results
+
+#: (replicas, machines) -> roughly 4096 graph nodes, the largest serial
+#: benchmark size.
+IPC_SIZE = (768, 256)
+
+IPC_WORKERS = 4
+
+#: Floor asserted on the warm path: legacy reply bytes / measured.
+WIRE_REDUCTION_FLOOR = 5.0
+
+
+def _legacy_reply_bytes(outcome, named, deployed, choices, instances):
+    """Pickled size of the reply the pre-compact protocol shipped.
+
+    Cold calls carried the decoded model, deployed set, choices, and
+    the full propagated instance tuple; warm calls whose outcome
+    repeated skipped the instances but still shipped the decoded model,
+    deployed set, and choices.
+    """
+    payload = (
+        outcome.index, outcome.status, named, deployed, choices, instances,
+        outcome.constraint_stats, outcome.solver_stats,
+        outcome.encode_ms, outcome.solve_ms,
+        outcome.encoded, outcome.solver_reused, None,
+    )
+    return len(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
+
+
+def test_warm_reply_bytes_reduction(registry):
+    replicas, machines = IPC_SIZE
+    partial = fleet_partial(
+        FleetTopology(replicas=replicas, machines=machines)
+    )
+    graph = generate_graph(registry, partial)
+    components = partition_graph(graph).components
+    nodes = len(graph)
+    assert nodes >= 4096
+
+    pool = WorkerPool(registry, workers=IPC_WORKERS)
+    try:
+        cold = pool.run_components(
+            components, fingerprint="bench-ipc", keep=True
+        )
+        cold_wire = pool.last_wire
+        # Parent-side decode/propagate (what the engine/session do as
+        # replies stream in), kept to price the legacy payloads.
+        decoded = {}
+        legacy_cold = 0
+        for component, outcome in zip(components, cold):
+            named, deployed, choices = decode_component_model(
+                component, outcome.model
+            )
+            spec = propagate(registry, component.graph, deployed, choices)
+            decoded[outcome.index] = (
+                named, frozenset(deployed), choices, tuple(spec)
+            )
+            legacy_cold += _legacy_reply_bytes(
+                outcome, named, frozenset(deployed), choices, tuple(spec)
+            )
+
+        warm = pool.run_components(
+            components, fingerprint="bench-ipc", keep=True
+        )
+        warm_wire = pool.last_wire
+        legacy_warm = 0
+        for outcome in warm:
+            assert outcome.model_unchanged, (
+                "warm replies must be headers on an unchanged fleet"
+            )
+            named, deployed, choices, _instances = decoded[outcome.index]
+            legacy_warm += _legacy_reply_bytes(
+                outcome, named, deployed, choices, None
+            )
+    finally:
+        pool.close()
+
+    assert cold_wire.reply_frames == len(components)
+    assert warm_wire.reply_frames == len(components)
+
+    cold_reduction = legacy_cold / cold_wire.reply_bytes
+    warm_reduction = legacy_warm / warm_wire.reply_bytes
+    _update_results("wire", {
+        "replicas": replicas,
+        "machines": machines,
+        "nodes": nodes,
+        "components": len(components),
+        "workers": IPC_WORKERS,
+        "reduction_floor_warm": WIRE_REDUCTION_FLOOR,
+        "cold": {
+            "reply_bytes": cold_wire.reply_bytes,
+            "legacy_reply_bytes": legacy_cold,
+            "reduction": round(cold_reduction, 1),
+            "request_bytes": cold_wire.request_bytes,
+            "largest_reply_bytes": cold_wire.largest_reply_bytes,
+        },
+        "warm": {
+            "reply_bytes": warm_wire.reply_bytes,
+            "legacy_reply_bytes": legacy_warm,
+            "reduction": round(warm_reduction, 1),
+            "request_bytes": warm_wire.request_bytes,
+            "largest_reply_bytes": warm_wire.largest_reply_bytes,
+        },
+    })
+
+    assert warm_reduction >= WIRE_REDUCTION_FLOOR, (
+        f"warm replies only {warm_reduction:.1f}x smaller than the "
+        f"legacy protocol at {nodes} nodes "
+        f"({warm_wire.reply_bytes} vs {legacy_warm} bytes; "
+        f"floor {WIRE_REDUCTION_FLOOR}x)"
+    )
+    # The cold path wins too: literal arrays beat decoded dicts +
+    # propagated instance tuples by a wide margin.
+    assert cold_reduction >= WIRE_REDUCTION_FLOOR

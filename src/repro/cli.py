@@ -98,6 +98,10 @@ def _run_stats(path: str, result) -> dict:
             "largest": info.largest,
             "partition_ms": info.partition_ms,
             "workers": info.workers,
+            "wire": (
+                dataclasses.asdict(info.wire)
+                if info.wire is not None else None
+            ),
             "components": [
                 dataclasses.asdict(component)
                 for component in info.components

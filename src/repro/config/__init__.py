@@ -29,7 +29,11 @@ from repro.config.hypergraph import (
 from repro.config.fingerprint import canonical_form, fingerprint_partial
 from repro.config.parallel import (
     ComponentOutcome,
+    RemoteTraceback,
+    WireStats,
     WorkerPool,
+    decode_component_model,
+    lpt_assignment,
     resolve_workers,
 )
 from repro.config.propagation import propagate
@@ -42,6 +46,8 @@ __all__ = [
     "ConfigurationResult",
     "ConfigurationSession",
     "ConstraintStats",
+    "RemoteTraceback",
+    "WireStats",
     "WorkerPool",
     "GraphNode",
     "HyperEdge",
@@ -52,6 +58,7 @@ __all__ = [
     "UnsatExplanation",
     "canonical_form",
     "check_spec",
+    "decode_component_model",
     "explain_message",
     "explain_unsat",
     "fact_literals",
@@ -59,6 +66,7 @@ __all__ = [
     "generate_constraints",
     "generate_graph",
     "lower_alternatives",
+    "lpt_assignment",
     "propagate",
     "resolve_workers",
     "selected_nodes",

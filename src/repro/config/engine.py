@@ -193,53 +193,18 @@ def emit_config_trace(tracer, timings, cache=None, partition=None) -> None:
         # component index and node count ride along as args (the span
         # name alone is not machine-filterable in Perfetto), plus the
         # worker id when a process pool solved the component.
-        component_start = start
-        for component in partition.components:
-            wall_ms = (
-                component.encode_ms + component.solve_ms
-                + component.propagate_ms
+        if partition.workers and partition.wire is not None:
+            component_end = _emit_streamed_component_spans(
+                tracer, partition, start
             )
-            duration = wall_ms / 1000.0
-            args = dict(
-                wall_ms=round(wall_ms, 3), component=component.index,
-                nodes=component.nodes, edges=component.edges,
-                pinned=component.pinned, decisions=component.decisions,
-                conflicts=component.conflicts,
+        else:
+            component_end = _emit_serial_component_spans(
+                tracer, partition, start
             )
-            if component.worker >= 0:
-                args["worker"] = component.worker
-            tracer.span(
-                f"configure:component[{component.index}]",
-                category="config", start=component_start, duration=duration,
-                lane="config", **args,
-            )
-            if partition.workers:
-                # Worker-measured phase spans, merged into the parent
-                # trace in deterministic (component index, phase) order.
-                phase_start = component_start
-                for phase_name, phase_ms in (
-                    ("encode", component.encode_ms),
-                    ("solve", component.solve_ms),
-                    ("propagate", component.propagate_ms),
-                ):
-                    if phase_ms <= 0.0:
-                        continue
-                    tracer.span(
-                        f"configure:component[{component.index}]"
-                        f":{phase_name}",
-                        category="config", start=phase_start,
-                        duration=phase_ms / 1000.0, lane="config",
-                        wall_ms=round(phase_ms, 3),
-                        component=component.index, nodes=component.nodes,
-                        worker=component.worker,
-                    )
-                    phase_start += phase_ms / 1000.0
-            tracer.metrics.histogram("config.component_ms").observe(wall_ms)
-            component_start += duration
         tracer.metrics.histogram("config.components").observe(partition.count)
         if partition.workers:
             tracer.metrics.counter("config.parallel_configures").inc()
-        start = max(start, component_start)
+        start = max(start, component_end)
     if cache is not None:
         tracer.instant(
             "cache", category="config", timestamp=start, lane="config",
@@ -247,6 +212,118 @@ def emit_config_trace(tracer, timings, cache=None, partition=None) -> None:
             cnf_hit=cache.cnf_hit, solver_reused=cache.solver_reused,
             typecheck_skipped=cache.typecheck_skipped,
         )
+
+
+def _emit_serial_component_spans(tracer, partition, start) -> float:
+    """Per-component spans for the in-process pipeline: components ran
+    one after another, so the spans are stacked sequentially."""
+    component_start = start
+    for component in partition.components:
+        wall_ms = (
+            component.encode_ms + component.solve_ms
+            + component.propagate_ms
+        )
+        duration = wall_ms / 1000.0
+        args = dict(
+            wall_ms=round(wall_ms, 3), component=component.index,
+            nodes=component.nodes, edges=component.edges,
+            pinned=component.pinned, decisions=component.decisions,
+            conflicts=component.conflicts,
+        )
+        if component.worker >= 0:
+            args["worker"] = component.worker
+        tracer.span(
+            f"configure:component[{component.index}]",
+            category="config", start=component_start, duration=duration,
+            lane="config", **args,
+        )
+        tracer.metrics.histogram("config.component_ms").observe(wall_ms)
+        component_start += duration
+    return component_start
+
+
+def _emit_streamed_component_spans(tracer, partition, start) -> float:
+    """Per-component spans for the process-pool pipeline, laid out on
+    the *real* dispatch-relative timeline.
+
+    Each component's reply arrival (``recv_ms``) anchors its spans: the
+    worker-measured encode/solve spans end at the arrival, the
+    parent-side decode/propagate spans begin there.  Because the parent
+    decodes streamed replies while other workers are still solving,
+    decode/propagate spans of early components visibly *overlap* the
+    solve spans of late ones -- the signature of streamed collection.
+    Spans are emitted in component-index order (deterministic), not
+    arrival order.
+    """
+    wire = partition.wire
+    tracer.span(
+        "configure:dispatch", category="config", start=start,
+        duration=wire.dispatch_ms / 1000.0, lane="config",
+        wall_ms=round(wire.dispatch_ms, 3),
+        request_bytes=wire.request_bytes,
+    )
+    tracer.metrics.histogram("config.wire_reply_bytes").observe(
+        wire.reply_bytes
+    )
+    tracer.metrics.histogram("config.wire_reply_frames").observe(
+        wire.reply_frames
+    )
+    end = start + wire.dispatch_ms / 1000.0
+    for component in partition.components:
+        recv = start + component.recv_ms / 1000.0
+        worker_ms = component.encode_ms + component.solve_ms
+        worker_start = max(start, recv - worker_ms / 1000.0)
+        parent_ms = component.decode_ms + component.propagate_ms
+        wall_ms = worker_ms + parent_ms
+        tracer.span(
+            f"configure:component[{component.index}]",
+            category="config", start=worker_start,
+            duration=(recv - worker_start) + parent_ms / 1000.0,
+            lane="config",
+            wall_ms=round(wall_ms, 3), component=component.index,
+            nodes=component.nodes, edges=component.edges,
+            pinned=component.pinned, decisions=component.decisions,
+            conflicts=component.conflicts, worker=component.worker,
+        )
+        phase_start = worker_start
+        for phase_name, phase_ms in (
+            ("encode", component.encode_ms),
+            ("solve", component.solve_ms),
+        ):
+            if phase_ms <= 0.0:
+                continue
+            tracer.span(
+                f"configure:component[{component.index}]:{phase_name}",
+                category="config", start=phase_start,
+                duration=phase_ms / 1000.0, lane="config",
+                wall_ms=round(phase_ms, 3), component=component.index,
+                nodes=component.nodes, worker=component.worker,
+            )
+            phase_start += phase_ms / 1000.0
+        tracer.instant(
+            f"configure:component[{component.index}]:recv",
+            category="config", timestamp=recv, lane="config",
+            recv_ms=round(component.recv_ms, 3),
+            component=component.index, worker=component.worker,
+        )
+        phase_start = recv
+        for phase_name, phase_ms in (
+            ("decode", component.decode_ms),
+            ("propagate", component.propagate_ms),
+        ):
+            if phase_ms <= 0.0:
+                continue
+            tracer.span(
+                f"configure:component[{component.index}]:{phase_name}",
+                category="config", start=phase_start,
+                duration=phase_ms / 1000.0, lane="config",
+                wall_ms=round(phase_ms, 3), component=component.index,
+                nodes=component.nodes, worker=component.worker,
+            )
+            phase_start += phase_ms / 1000.0
+        tracer.metrics.histogram("config.component_ms").observe(wall_ms)
+        end = max(end, phase_start)
+    return end
 
 
 class ConfigurationEngine:
@@ -277,6 +354,7 @@ class ConfigurationEngine:
         peer_policy: str = "colocate",
         partition: bool = False,
         workers: Optional[int] = None,
+        start_method: Optional[str] = None,
         tracer=None,
     ) -> None:
         if partition and solver == "dpll":
@@ -297,6 +375,7 @@ class ConfigurationEngine:
         self._peer_policy = peer_policy
         self._partition = partition
         self._workers = workers
+        self._start_method = start_method
         self._pool = None
         self._tracer = tracer
         if verify_registry:
@@ -336,7 +415,7 @@ class ConfigurationEngine:
         if pool is None:
             pool = WorkerPool(
                 self._registry, workers=resolved, encoding=self._encoding,
-                check_types=self._check_types,
+                start_method=self._start_method,
             )
             self._pool = pool
         return pool
@@ -523,12 +602,20 @@ class ConfigurationEngine:
     ) -> ConfigurationResult:
         """The partitioned pipeline fanned out over the process pool.
 
-        Workers run the exact per-component sequence of
-        :meth:`_configure_partitioned`; the parent merges outcomes in
-        component-index order, so the result is bit-identical to the
-        serial partitioned (and monolithic) pipeline.
+        Workers run the exact per-component encode/solve sequence of
+        :meth:`_configure_partitioned` and stream back one compact
+        reply per component (the canonical model as a signed-literal
+        array); the parent decodes, propagates and typechecks each
+        reply as it arrives -- overlapping with components still
+        solving -- then merges outcomes in component-index order, so
+        the result is bit-identical to the serial partitioned (and
+        monolithic) pipeline.
         """
-        from repro.config.parallel import resolve_workers
+        from repro.config.parallel import (
+            decode_component_model,
+            raise_component_error,
+            resolve_workers,
+        )
 
         timings = PhaseTimings()
         started = time.perf_counter()
@@ -558,9 +645,41 @@ class ConfigurationEngine:
         info = PartitionInfo(
             partition_ms=timings.partition_ms, workers=pool.workers
         )
+        components_by_index = {
+            component.index: component for component in parts.components
+        }
+
+        def materialize(outcome) -> None:
+            # Streamed parent-side half of the pipeline: decode the
+            # signed-literal model against the component graph the
+            # parent already holds, then propagate and typecheck --
+            # all while other components are still solving.
+            component = components_by_index[outcome.index]
+            tick = time.perf_counter()
+            named, comp_deployed, comp_choices = decode_component_model(
+                component, outcome.model
+            )
+            decode_done = time.perf_counter()
+            spec = propagate(
+                self._registry, component.graph, comp_deployed, comp_choices
+            )
+            if self._check_types:
+                check_spec(self._registry, spec)
+            outcome.named_model = named
+            outcome.deployed = frozenset(comp_deployed)
+            outcome.choices = comp_choices
+            outcome.instances = tuple(spec)
+            outcome.decode_ms = (decode_done - tick) * 1000.0
+            outcome.propagate_ms = (
+                time.perf_counter() - decode_done
+            ) * 1000.0
+
         tick = time.perf_counter()
-        outcomes = pool.run_components(parts.components)
+        outcomes = pool.run_components(
+            parts.components, on_outcome=materialize
+        )
         timings.parallel_wall_ms = (time.perf_counter() - tick) * 1000.0
+        info.wire = pool.last_wire
 
         failure = next(
             (o for o in outcomes if o.status != "sat"), None
@@ -573,7 +692,7 @@ class ConfigurationEngine:
                     self._registry, partial, graph,
                     explain=self._explain_unsat, partition=True,
                 )
-            raise failure.error
+            raise_component_error(failure)
 
         aggregate_constraints = ConstraintStats(0, 0, 0, 0)
         aggregate_solver = SolverStats(components=len(parts.components))
@@ -600,11 +719,16 @@ class ConfigurationEngine:
                     decisions=outcome.solver_stats.decisions,
                     conflicts=outcome.solver_stats.conflicts,
                     worker=outcome.worker,
+                    decode_ms=outcome.decode_ms,
+                    recv_ms=outcome.recv_ms,
                 )
             )
             timings.encode_ms += outcome.encode_ms
             timings.solve_ms += outcome.solve_ms
-            timings.propagate_ms += outcome.propagate_ms
+            # Parent-side decode folds into the propagate phase: the
+            # serial pipelines account name decoding inside their own
+            # windows, so the per-phase sums stay comparable.
+            timings.propagate_ms += outcome.decode_ms + outcome.propagate_ms
 
         tick = time.perf_counter()
         spec = merge_component_specs(specs)

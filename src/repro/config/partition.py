@@ -51,6 +51,12 @@ class ComponentStats:
     #: Worker-process index that solved this component, or -1 when the
     #: component ran in-process (serial partitioned pipeline).
     worker: int = -1
+    #: Parent-side model decode time (signed-literal array -> names ->
+    #: selected nodes); 0 in-process, where decode is part of solve_ms.
+    decode_ms: float = 0.0
+    #: When this component's reply arrived, as an offset from dispatch
+    #: start -- the streamed-collection timeline (0 in-process).
+    recv_ms: float = 0.0
 
 
 @dataclass
@@ -62,6 +68,9 @@ class PartitionInfo:
     #: Process-pool size when the components were solved in parallel;
     #: 0 means the serial in-process pipeline.
     workers: int = 0
+    #: Wire accounting of the pool dispatch
+    #: (:class:`repro.config.parallel.WireStats`); None in-process.
+    wire: object = None
 
     @property
     def count(self) -> int:
@@ -86,6 +95,11 @@ class GraphComponent:
     graph: ResourceGraph
     node_ids: tuple[str, ...]
     pinned: tuple[str, ...]
+
+    @property
+    def nodes(self) -> int:
+        """Node count -- the size LPT assignment schedules by."""
+        return len(self.node_ids)
 
 
 class Partition:

@@ -104,7 +104,7 @@ class _Entry:
     __slots__ = (
         "graph", "formula", "constraint_stats", "assumptions", "solver",
         "canonical", "verified_specs", "partition", "components",
-        "stats_ready",
+        "stats_ready", "decoded",
     )
 
     def __init__(
@@ -137,6 +137,12 @@ class _Entry:
         #: Whether :attr:`constraint_stats` was filled from the first
         #: worker round-trip (parallel-mode entries only).
         self.stats_ready = False
+        #: Parallel-mode decode cache: component index -> (named model,
+        #: deployed frozenset, choices, propagated instance tuple).  A
+        #: worker whose model repeats sends a bare ``MODEL_UNCHANGED``
+        #: header and the parent re-serves this cache; component
+        #: indexes *missing* here are forced to ship a full model.
+        self.decoded: dict[int, tuple] = {}
 
 
 class _ComponentEntry:
@@ -187,6 +193,7 @@ class ConfigurationSession:
         peer_policy: str = "colocate",
         partition: bool = False,
         workers: Optional[int] = None,
+        start_method: Optional[str] = None,
         max_entries: int = 1024,
         tracer=None,
     ) -> None:
@@ -211,6 +218,7 @@ class ConfigurationSession:
         self._peer_policy = peer_policy
         self._partition = partition
         self._workers = workers
+        self._start_method = start_method
         self._pool = None
         self._max_entries = max_entries
         self._tracer = tracer
@@ -300,7 +308,7 @@ class ConfigurationSession:
         if pool is None:
             pool = WorkerPool(
                 self._registry, workers=resolved, encoding=self._encoding,
-                check_types=self._check_types,
+                start_method=self._start_method,
             )
             self._pool = pool
         return pool
@@ -687,14 +695,24 @@ class ConfigurationSession:
     ) -> ConfigurationResult:
         """Fan the components out across the session's worker pool.
 
-        The parent caches only the graph and its partition; encodings
-        and persistent incremental solvers are worker-resident, keyed by
-        the partial-spec fingerprint (see
-        :class:`repro.config.parallel.WorkerPool`).  Phase timings stay
+        The parent caches the graph, its partition, and one *decoded
+        outcome* per component; encodings and persistent incremental
+        solvers are worker-resident, keyed by the partial-spec
+        fingerprint (see :class:`repro.config.parallel.WorkerPool`).
+        Replies stream in as compact signed-literal arrays, decoded and
+        propagated parent-side while other components still solve; a
+        worker whose model repeats ships a bare ``MODEL_UNCHANGED``
+        header and the parent re-serves its decode cache -- the warm
+        path moves almost nothing over the pipe.  Phase timings stay
         per-component sums (comparable to the serial pipelines) while
         :attr:`~repro.config.engine.PhaseTimings.parallel_wall_ms`
         records the actual fan-out wall time.
         """
+        from repro.config.parallel import (
+            decode_component_model,
+            raise_component_error,
+        )
+
         pool = self._ensure_pool(workers)
         key = ("parallel", cache.fingerprint)
         started = time.perf_counter()
@@ -715,9 +733,50 @@ class ConfigurationSession:
             self._store(key, entry)
         parts = entry.partition
 
+        components_by_index = {
+            component.index: component for component in parts.components
+        }
+        # Components the parent holds no decoded outcome for must ship
+        # a full model even if the worker believes it unchanged.
+        force = frozenset(
+            component.index for component in parts.components
+            if component.index not in entry.decoded
+        )
+
+        def materialize(outcome) -> None:
+            # Streamed parent-side decode -> propagate -> typecheck.
+            if outcome.model_unchanged:
+                (outcome.named_model, outcome.deployed, outcome.choices,
+                 outcome.instances) = entry.decoded[outcome.index]
+                return
+            component = components_by_index[outcome.index]
+            tick = time.perf_counter()
+            named, comp_deployed, comp_choices = decode_component_model(
+                component, outcome.model
+            )
+            decode_done = time.perf_counter()
+            spec = propagate(
+                self._registry, component.graph, comp_deployed, comp_choices
+            )
+            if self._check_types:
+                check_spec(self._registry, spec)
+            outcome.named_model = named
+            outcome.deployed = frozenset(comp_deployed)
+            outcome.choices = comp_choices
+            outcome.instances = tuple(spec)
+            outcome.decode_ms = (decode_done - tick) * 1000.0
+            outcome.propagate_ms = (
+                time.perf_counter() - decode_done
+            ) * 1000.0
+            entry.decoded[outcome.index] = (
+                outcome.named_model, outcome.deployed, outcome.choices,
+                outcome.instances,
+            )
+
         tick = time.perf_counter()
         outcomes = pool.run_components(
-            parts.components, fingerprint=cache.fingerprint, keep=True
+            parts.components, fingerprint=cache.fingerprint, keep=True,
+            force=force, on_outcome=materialize,
         )
         timings.parallel_wall_ms = (time.perf_counter() - tick) * 1000.0
         # The CNF is "hit" when no worker had to (re-)encode a component.
@@ -743,10 +802,11 @@ class ConfigurationSession:
                     self._registry, partial, entry.graph,
                     explain=self._explain_unsat, partition=True,
                 )
-            raise failure.error
+            raise_component_error(failure)
 
         info = PartitionInfo(
-            partition_ms=timings.partition_ms, workers=pool.workers
+            partition_ms=timings.partition_ms, workers=pool.workers,
+            wire=pool.last_wire,
         )
         aggregate_solver = SolverStats(components=len(outcomes))
         named_model: dict[str, bool] = {}
@@ -781,11 +841,6 @@ class ConfigurationSession:
             cache.typecheck_skipped = True
             self.stats.typecheck_skips += 1
         else:
-            if any(outcome.instances is None for outcome in outcomes):
-                raise ConfigurationError(
-                    "internal error: a worker skipped propagation for an "
-                    "outcome the parent has not verified"
-                )
             spec = merge_component_specs(
                 [InstallSpec(outcome.instances) for outcome in outcomes]
             )
@@ -793,7 +848,11 @@ class ConfigurationSession:
             self.stats.typecheck_runs += 1
         merge_ms = (time.perf_counter() - ticked) * 1000.0
         timings.propagate_ms = (
-            sum(outcome.propagate_ms for outcome in outcomes) + merge_ms
+            sum(
+                outcome.decode_ms + outcome.propagate_ms
+                for outcome in outcomes
+            )
+            + merge_ms
         )
 
         for outcome, component in zip(outcomes, parts.components):
@@ -809,6 +868,8 @@ class ConfigurationSession:
                     decisions=outcome.solver_stats.decisions,
                     conflicts=outcome.solver_stats.conflicts,
                     worker=outcome.worker,
+                    decode_ms=outcome.decode_ms,
+                    recv_ms=outcome.recv_ms,
                 )
             )
         emit_config_trace(self._tracer, timings, cache, partition=info)

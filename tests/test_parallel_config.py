@@ -18,6 +18,9 @@ from __future__ import annotations
 import dataclasses
 import io
 import json
+import multiprocessing
+import os
+import signal
 
 import pytest
 
@@ -25,7 +28,9 @@ from repro.cli import main
 from repro.config import (
     ConfigurationEngine,
     ConfigurationSession,
+    RemoteTraceback,
     WorkerPool,
+    lpt_assignment,
     resolve_workers,
 )
 from repro.core import PartialInstallSpec
@@ -76,8 +81,16 @@ def assert_parallel_equivalent(
     )
     assert par.partition is not None
     assert par.partition.workers == engine._workers
-    for component in par.partition.components:
-        assert component.worker == component.index % engine._workers
+    # Placement is deterministic LPT over component node counts.
+    expected_workers = lpt_assignment(
+        [component.nodes for component in par.partition.components],
+        engine._workers,
+    )
+    for component, worker in zip(par.partition.components, expected_workers):
+        assert component.worker == worker
+    assert par.partition.wire is not None
+    assert par.partition.wire.reply_frames == par.partition.count
+    assert par.partition.wire.reply_bytes > 0
 
     cold = session.configure(partial)
     warm = session.configure(partial)
@@ -329,6 +342,231 @@ class TestSessionWarmWorkers:
             assert len(session) == 3  # three mode-distinct cache entries
 
 
+class TestLptAssignment:
+    def test_uniform_sizes_degenerate_to_round_robin(self):
+        assert lpt_assignment([5, 5, 5, 5, 5, 5], 3) == [0, 1, 2, 0, 1, 2]
+
+    def test_largest_first_to_least_loaded(self):
+        # Two big components split across the workers; the small ones
+        # fill in on whichever worker is lighter at that step.
+        assert lpt_assignment([5, 1, 1, 1, 5], 2) == [0, 0, 1, 0, 1]
+
+    def test_deterministic(self):
+        sizes = [7, 3, 3, 9, 1, 4, 4, 2]
+        assert lpt_assignment(sizes, 3) == lpt_assignment(sizes, 3)
+
+    def test_never_worse_than_round_robin_on_skew(self):
+        sizes = [100, 1, 1, 1, 1, 1, 1, 1]
+        workers = 4
+
+        def makespan(assignment):
+            loads = [0] * workers
+            for position, worker in enumerate(assignment):
+                loads[worker] += sizes[position]
+            return max(loads)
+
+        round_robin = [index % workers for index in range(len(sizes))]
+        assert makespan(lpt_assignment(sizes, workers)) <= makespan(
+            round_robin
+        )
+
+    def test_single_worker_takes_everything(self):
+        assert lpt_assignment([3, 1, 2], 1) == [0, 0, 0]
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lpt_assignment([1], 0)
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="poisoning workers via inherited memory needs fork",
+)
+class TestWorkerFailures:
+    def test_remote_traceback_crosses_the_pickle_boundary(
+        self, monkeypatch
+    ):
+        import repro.config.parallel as parallel_module
+
+        def poisoned(graph, encoding, **kwargs):
+            raise RuntimeError("poisoned encoding (worker-side)")
+
+        # Patch before the pool exists: forked workers inherit the
+        # poisoned function, while the parent never calls it on this
+        # path (decode/propagate use the component graph directly).
+        monkeypatch.setattr(
+            parallel_module, "generate_constraints", poisoned
+        )
+        with ConfigurationEngine(
+            REGISTRY, partition=True, workers=2
+        ) as engine:
+            with pytest.raises(RuntimeError) as exc:
+                engine.configure(small_fleet())
+        assert "poisoned encoding (worker-side)" in str(exc.value)
+        cause = exc.value.__cause__
+        assert isinstance(cause, RemoteTraceback)
+        assert "Traceback (most recent call last)" in str(cause)
+        assert "poisoned encoding (worker-side)" in str(cause)
+
+    def test_worker_death_reports_in_flight_and_recycles(self):
+        partial = small_fleet()
+        with ConfigurationEngine(
+            REGISTRY, partition=True, workers=1
+        ) as engine:
+            first = engine.configure(partial)
+            pool = engine._pool
+            os.kill(pool._processes[0].pid, signal.SIGKILL)
+            pool._processes[0].join(timeout=5.0)
+            with pytest.raises(ConfigurationError) as exc:
+                engine.configure(partial)
+            message = str(exc.value)
+            assert "worker 0" in message
+            assert "in flight" in message
+            assert pool.closed
+            # The engine starts a fresh pool on the next call instead
+            # of deadlocking on the dead worker's pipe.
+            again = engine.configure(partial)
+            assert engine._pool is not pool
+            assert full_to_json(again.spec) == full_to_json(first.spec)
+
+    def test_protocol_desync_mid_collection_recycles_the_pool(self):
+        from repro.config import generate_graph
+        from repro.config.parallel import _send_frame
+        from repro.config.partition import partition_graph
+
+        graph = generate_graph(REGISTRY, small_fleet())
+        components = partition_graph(graph).components
+        assert len(components) >= 2
+        pool = WorkerPool(REGISTRY, workers=2)
+        try:
+            # An unknown frame kind makes the worker exit (protocol
+            # desync defence), so the parent hits EOF mid-collection
+            # while the other worker's replies are still pending.
+            _send_frame(pool._conns[0], ("bogus",))
+            with pytest.raises(ConfigurationError) as exc:
+                pool.run_components(components)
+            assert "in flight" in str(exc.value)
+            assert pool.closed
+        finally:
+            pool.close()
+
+
+class TestStreamedCollection:
+    def test_parent_decode_overlaps_worker_spans(self):
+        """The streamed-collection signature: parent-side decode and
+        propagate spans of early components sit inside other
+        components' worker-side windows on the dispatch timeline."""
+        tracer = Tracer()
+        partial = small_fleet(replicas=12, machines=6)
+        with ConfigurationEngine(
+            REGISTRY, partition=True, workers=2, tracer=tracer
+        ) as engine:
+            result = engine.configure(partial)
+        assert result.partition.count >= 2
+        spans = tracer.spans(category="config")
+        assert any(span.name == "configure:dispatch" for span in spans)
+        component_spans = [
+            span for span in spans
+            if span.name.startswith("configure:component[")
+        ]
+        parent_side = [
+            span for span in component_spans
+            if span.name.endswith(":decode")
+            or span.name.endswith(":propagate")
+        ]
+        worker_side = [
+            span for span in component_spans
+            if span.name.endswith(":encode") or span.name.endswith(":solve")
+        ]
+        assert parent_side and worker_side
+        # Parent decode started before the last reply arrived...
+        recvs = [
+            instant for instant in tracer.instants(category="config")
+            if instant.name.endswith(":recv")
+        ]
+        assert len(recvs) == result.partition.count
+        last_arrival = max(instant.timestamp for instant in recvs)
+        assert min(span.timestamp for span in parent_side) < last_arrival
+        # ...and some parent-side span overlaps another component's
+        # worker-side span: the parent worked while workers solved.
+        assert any(
+            parent.args["component"] != worker.args["component"]
+            and parent.timestamp < worker.timestamp + worker.duration
+            and worker.timestamp < parent.timestamp + parent.duration
+            for parent in parent_side
+            for worker in worker_side
+        )
+
+    def test_warm_session_replies_shrink_to_headers(self):
+        # Large enough that model arrays dominate the cold replies.
+        partial = small_fleet(replicas=24, machines=6)
+        with ConfigurationSession(
+            REGISTRY, partition=True, workers=2
+        ) as session:
+            session.configure(partial)
+            cold_wire = session._pool.last_wire
+            warm = session.configure(partial)
+            warm_wire = session._pool.last_wire
+        assert warm.partition.wire is warm_wire
+        assert warm_wire.reply_frames == cold_wire.reply_frames
+        # Unchanged outcomes ship no model bytes: the whole warm reply
+        # stream is a fraction of the cold one.
+        assert warm_wire.reply_bytes < cold_wire.reply_bytes / 2
+        assert warm_wire.largest_reply_bytes < cold_wire.largest_reply_bytes
+
+    def test_env_var_selects_start_method(self, monkeypatch):
+        monkeypatch.setenv("ENGAGE_CONFIG_START_METHOD", "fork")
+        pool = WorkerPool(REGISTRY, workers=1)
+        try:
+            assert pool.start_method == "fork"
+        finally:
+            pool.close()
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    "spawn" not in multiprocessing.get_all_start_methods(),
+    reason="spawn start method unavailable",
+)
+class TestSpawnStartMethod:
+    """The macOS/Windows default path: workers built by spawn (fresh
+    interpreter, everything pickled) produce bit-identical output and
+    the same warm-cache behaviour as fork workers."""
+
+    def test_spawn_engine_bit_identity(self):
+        partial = small_fleet()
+        expected = full_to_json(
+            ConfigurationEngine(REGISTRY).configure(partial).spec
+        )
+        with ConfigurationEngine(
+            REGISTRY, partition=True, workers=2, start_method="spawn"
+        ) as engine:
+            result = engine.configure(partial)
+            assert engine._pool.start_method == "spawn"
+            assert full_to_json(result.spec) == expected
+
+    def test_spawn_session_warm_cache(self):
+        partial = small_fleet()
+        expected = full_to_json(
+            ConfigurationEngine(REGISTRY).configure(partial).spec
+        )
+        with ConfigurationSession(
+            REGISTRY, partition=True, workers=2, start_method="spawn"
+        ) as session:
+            cold = session.configure(partial)
+            assert session._pool.start_method == "spawn"
+            warm = session.configure(partial)
+            assert full_to_json(cold.spec) == expected
+            assert full_to_json(warm.spec) == expected
+            assert warm.cache.graph_hit and warm.cache.cnf_hit
+            assert warm.cache.solver_reused
+            assert warm.cache.typecheck_skipped
+            assert all(
+                component.propagate_ms == 0.0
+                for component in warm.partition.components
+            )
+
+
 class TestWorkerTraceSpans:
     def test_component_spans_carry_index_nodes_and_worker(self):
         tracer = Tracer()
@@ -337,11 +575,16 @@ class TestWorkerTraceSpans:
         ) as engine:
             result = engine.configure(small_fleet())
         spans = {span.name: span for span in tracer.spans(category="config")}
-        for component in result.partition.components:
+        expected_workers = lpt_assignment(
+            [component.nodes for component in result.partition.components], 2
+        )
+        for component, worker in zip(
+            result.partition.components, expected_workers
+        ):
             span = spans[f"configure:component[{component.index}]"]
             assert span.args["component"] == component.index
             assert span.args["nodes"] == component.nodes
-            assert span.args["worker"] == component.index % 2
+            assert span.args["worker"] == component.worker == worker
         # Worker-measured phase sub-spans, deterministically ordered.
         names = [
             span.name
@@ -424,6 +667,13 @@ class TestCli:
         assert len(run["partition"]["components"]) == 3
         for component in run["partition"]["components"]:
             assert component["worker"] == 0
+            assert component["decode_ms"] >= 0.0
+            assert component["recv_ms"] >= 0.0
+        wire = run["partition"]["wire"]
+        assert wire["reply_frames"] == 3
+        assert wire["reply_bytes"] > 0
+        assert wire["request_bytes"] > 0
+        assert wire["largest_reply_bytes"] <= wire["reply_bytes"]
 
     def test_stats_json_session_repeat(self, fleet_file, tmp_path):
         stats = tmp_path / "stats.json"
