@@ -12,6 +12,9 @@ Run:  python benchmarks/report.py
 parallel, and wire sections of ``benchmarks/BENCH_fleet.json`` (written
 by ``test_bench_fleet.py`` / ``test_bench_ipc.py``) as one comparison
 table, so fleet perf regressions are readable straight from CI logs.
+``--delta`` does the same for ``benchmarks/BENCH_delta.json`` (written
+by ``test_bench_delta.py``): the elasticity ladder and the small-delta
+plan-fraction bar against the 1000-replica fleet.
 """
 
 from __future__ import annotations
@@ -506,6 +509,67 @@ def fleet_report() -> int:
     return 0
 
 
+DELTA_RESULTS = pathlib.Path(__file__).parent / "BENCH_delta.json"
+
+
+def _delta_elasticity(data: dict) -> None:
+    elasticity = data.get("elasticity")
+    if not elasticity:
+        print("  (no elasticity section -- run test_bench_delta.py)")
+        return
+    ladder = " -> ".join(str(r) for r in elasticity.get("ladder", []))
+    print(f"  ladder {ladder} replicas on {elasticity.get('machines')} "
+          f"machines ({', '.join(elasticity.get('stacks', []))})")
+    print(f"  {'replicas':>14} {'nodes':>7} {'diff':>6} {'plan':>6} "
+          f"{'frac':>6} {'plan s':>8} {'exec s':>8}")
+    for leg in elasticity.get("legs", []):
+        print(f"  {leg['from_replicas']:>5} -> {leg['to_replicas']:>5} "
+              f"{leg['fleet_nodes']:>7} {leg['diff_size']:>6} "
+              f"{leg['plan_size']:>6} {leg['plan_fraction']:>6.2f} "
+              f"{leg['plan_seconds']:>8.3f} {leg['execute_seconds']:>8.3f}")
+    print(f"  fresh deploy of final goal: "
+          f"{elasticity.get('fresh_deploy_seconds_final', 0):.2f}s "
+          f"(equivalence + bit-identical replay asserted in-test)")
+
+
+def _delta_scale(data: dict) -> None:
+    scale = data.get("scale")
+    if not scale:
+        print("  (no scale section -- run test_bench_delta.py)")
+        return
+    print(f"  +{scale['grow_by']} replicas against a live "
+          f"{scale['replicas']}-replica fleet "
+          f"({scale['fleet_nodes']} nodes)")
+    row("plan size", f"<= {scale['max_plan_fraction']:.0%} of fleet",
+        f"{scale['plan_size']} steps "
+        f"({scale['plan_fraction']:.2%} of fleet)")
+    row("plan wall-clock", "-", f"{scale['plan_seconds']:.3f}s")
+    row("delta execute", "-", f"{scale['execute_seconds']:.3f}s")
+    row("worst-case full redeploy", "-",
+        f"{scale['worst_case_redeploy_seconds']:.3f}s")
+    row("speedup vs redeploy", ">1x",
+        f"{scale['speedup_vs_redeploy']:.1f}x")
+
+
+def delta_report() -> int:
+    """Render BENCH_delta.json as one table (the --delta mode)."""
+    if not DELTA_RESULTS.exists():
+        print(f"no results at {DELTA_RESULTS}; run the delta benchmarks "
+              f"first:\n  PYTHONPATH=src python -m pytest "
+              f"benchmarks/test_bench_delta.py -o addopts=")
+        return 1
+    data = json.loads(DELTA_RESULTS.read_text(encoding="utf-8"))
+    print("delta transition benchmarks "
+          f"({data.get('benchmark', '?')})")
+    print("=" * 68)
+    header("D1", "elasticity ladder: plan size is O(diff)")
+    _delta_elasticity(data)
+    header("D2", "small delta against the full fleet")
+    _delta_scale(data)
+    print()
+    return 0
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -513,9 +577,16 @@ def main() -> None:
         help="render benchmarks/BENCH_fleet.json instead of rerunning "
              "the paper evaluation",
     )
+    parser.add_argument(
+        "--delta", action="store_true",
+        help="render benchmarks/BENCH_delta.json instead of rerunning "
+             "the paper evaluation",
+    )
     args = parser.parse_args()
     if args.fleet:
         sys.exit(fleet_report())
+    if args.delta:
+        sys.exit(delta_report())
     print("Engage (PLDI 2012) -- evaluation reproduction report")
     print("=" * 68)
     e1_e2_e3()

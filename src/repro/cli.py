@@ -419,14 +419,13 @@ def cmd_start(args, out: TextIO) -> int:
     return 0 if system.is_deployed() else 1
 
 
-def cmd_upgrade(args, out: TextIO) -> int:
-    """Upgrade a saved deployment to a new partial specification."""
-    from repro.runtime import UpgradeEngine
-
+def _load_goal_partial(args, registry, infrastructure):
+    """Merge ``--types`` into a bundle's registry, publish any new
+    artifacts, and read + provision the new goal's partial spec --
+    shared by ``upgrade``, ``plan``, and ``deploy --delta``."""
     from repro.dsl import lower_module, parse_module
 
-    registry, infrastructure, drivers, system, _ = _load_bundle(args.bundle)
-    for path in args.types or ():
+    for path in getattr(args, "types", None) or ():
         with open(path, "r", encoding="utf-8") as handle:
             # Skip types the bundle already carries (same key).
             for resource_type in lower_module(
@@ -436,15 +435,27 @@ def cmd_upgrade(args, out: TextIO) -> int:
                     registry.register(resource_type)
     _publish_missing_artifacts(registry, infrastructure)
     partial = _read_partial(args.partial)
-    partial = provision_partial_spec(registry, partial, infrastructure)
+    return provision_partial_spec(registry, partial, infrastructure)
+
+
+def cmd_upgrade(args, out: TextIO) -> int:
+    """Upgrade a saved deployment to a new partial specification."""
+    from repro.runtime import UpgradeEngine
+
+    registry, infrastructure, drivers, system, _ = _load_bundle(args.bundle)
+    partial = _load_goal_partial(args, registry, infrastructure)
     config_engine = ConfigurationEngine(registry, verify_registry=False)
     deploy_engine = DeploymentEngine(registry, infrastructure, drivers)
     upgrader = UpgradeEngine(config_engine, deploy_engine)
     result = upgrader.upgrade(system, partial, strategy=args.strategy)
     if result.succeeded:
+        changed = (
+            result.diff.upgraded + result.diff.reconfigured
+            + result.diff.moved
+        )
         out.write(
             f"upgrade succeeded ({args.strategy}); "
-            f"changed: {result.diff.upgraded + result.diff.reconfigured}, "
+            f"changed: {changed}, "
             f"added: {result.diff.added}, removed: {result.diff.removed}\n"
         )
     else:
@@ -454,6 +465,33 @@ def cmd_upgrade(args, out: TextIO) -> int:
     _save_bundle(args.bundle, registry, infrastructure, result.system)
     out.write("bundle updated.\n")
     return 0 if result.succeeded else 1
+
+
+def cmd_plan(args, out: TextIO) -> int:
+    """Dry-run a delta transition: print the plan as JSON, touch
+    nothing."""
+    import json
+
+    from repro.runtime import plan_delta
+
+    registry, infrastructure, _, system, _ = _load_bundle(args.bundle)
+    partial = _load_goal_partial(args, registry, infrastructure)
+    config_engine = ConfigurationEngine(registry, verify_registry=False)
+    new_spec = config_engine.configure(partial).spec
+    delta = plan_delta(system, new_spec)
+    payload = delta.to_payload()
+    payload["bundle"] = args.bundle
+    text = json.dumps(payload, indent=1) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        out.write(
+            f"plan written to {args.output} ({len(delta)} step(s) for a "
+            f"{len(new_spec)}-instance goal)\n"
+        )
+    else:
+        out.write(text)
+    return 0
 
 
 def cmd_inject_fault(args, out: TextIO) -> int:
@@ -674,6 +712,62 @@ def cmd_deploy(args, out: TextIO) -> int:
     from repro.core.errors import DeploymentFailure
 
     policy = _retry_policy_from_args(args)
+
+    if args.delta:
+        if not args.partial:
+            out.write(
+                "error: a partial spec (the new goal) is required with "
+                "--delta\n"
+            )
+            return 2
+        from repro.runtime import execute_delta, plan_delta
+
+        registry, infrastructure, drivers, system, _ = _load_bundle(
+            args.delta
+        )
+        tracer = _install_tracer(args, infrastructure)
+        partial = _load_goal_partial(args, registry, infrastructure)
+        config_engine = ConfigurationEngine(registry, verify_registry=False)
+        new_spec = config_engine.configure(partial).spec
+        delta = plan_delta(system, new_spec)
+        by_op = ", ".join(
+            f"{op}: {count}" for op, count in sorted(delta.plan.by_op().items())
+        )
+        out.write(
+            f"delta plan: {len(delta)} step(s) toward a "
+            f"{len(new_spec)}-instance goal"
+            + (f" ({by_op})" if by_op else " (nothing to do)")
+            + "\n"
+        )
+        _install_chaos(args, infrastructure, out)
+        engine = DeploymentEngine(registry, infrastructure, drivers)
+        save_to = args.save or args.delta
+        try:
+            result = execute_delta(
+                engine, system, delta,
+                policy=policy, jobs=args.jobs,
+                jobs_per_host=args.jobs_per_host,
+            )
+        except DeploymentFailure as failure:
+            _write_failure(failure, out)
+            _save_bundle(
+                save_to, registry, infrastructure, failure.system,
+                failure.journal,
+            )
+            out.write(
+                f"resumable bundle saved to {save_to} "
+                f"(finish with: deploy --resume {save_to})\n"
+            )
+            _finish_trace(args, tracer, out)
+            return 1
+        system = result.system
+        _write_deploy_outcome(system, infrastructure, out)
+        _finish_trace(args, tracer, out)
+        _save_bundle(
+            save_to, registry, infrastructure, system, result.journal
+        )
+        out.write(f"bundle saved to {save_to}\n")
+        return 0 if system.is_deployed() else 1
 
     if args.resume:
         registry, infrastructure, drivers, system, journal = _load_bundle(
@@ -927,6 +1021,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(a bundle written by a failed 'deploy --save')",
     )
     deploy.add_argument(
+        "--delta", metavar="BUNDLE",
+        help="transition the deployment saved in BUNDLE to the given "
+        "partial spec by planning only the difference (journalled and "
+        "resumable, unlike 'upgrade'); saves back to BUNDLE unless "
+        "--save is given",
+    )
+    deploy.add_argument(
         "--max-retries", type=int, default=0, metavar="N",
         help="retry each failing driver action up to N times "
         "(transient faults only; default 0)",
@@ -1004,8 +1105,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="additional DSL resource files (e.g. the new version's type)",
     )
     upgrade.add_argument(
-        "--strategy", choices=("replace", "in_place"), default="replace",
-        help="worst-case replace (paper) or in-place (extension)",
+        "--strategy", choices=("replace", "in_place", "delta"),
+        default="replace",
+        help="worst-case replace (paper), in-place (extension), or "
+        "delta (planner-driven, journalled)",
+    )
+
+    plan = sub.add_parser(
+        "plan",
+        help="dry-run a delta transition: print the spec-to-spec plan "
+        "as JSON without executing it",
+    )
+    plan.add_argument(
+        "bundle", metavar="BUNDLE",
+        help="bundle file written by 'deploy --save'",
+    )
+    plan.add_argument(
+        "partial", metavar="NEW_PARTIAL_SPEC.json",
+        help="the new goal's partial installation specification",
+    )
+    plan.add_argument(
+        "--types", action="append", metavar="FILE", default=[],
+        help="additional DSL resource files (e.g. the new version's type)",
+    )
+    plan.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="write the plan JSON here instead of stdout",
     )
 
     reconcile = sub.add_parser(
@@ -1121,6 +1246,7 @@ _COMMANDS = {
     "watch": cmd_watch,
     "reconcile": cmd_reconcile,
     "upgrade": cmd_upgrade,
+    "plan": cmd_plan,
     "inject-fault": cmd_inject_fault,
     "trace": cmd_trace,
     "render": cmd_render,

@@ -684,6 +684,36 @@ class ConfigurationSession:
             specs.append(component_spec)
         return merge_component_specs(specs)
 
+    def revalidate_instances(
+        self,
+        partial: PartialInstallSpec,
+        spec: InstallSpec,
+        instance_ids: Iterable[str],
+    ) -> int:
+        """Re-derive ``instance_ids`` through the warm per-component
+        solvers and insist they still match ``spec``; returns how many
+        instances were re-validated.
+
+        The shared goal-drift guard: both the reconcile loop (before
+        repairing toward a goal) and the delta planner (before
+        deploying a new goal) call this so that no instance is driven
+        toward a definition the solver never approved -- a mismatch
+        means the spec was mutated since configuration, and acting on
+        it would deploy an unverified system, so fail loudly instead.
+        """
+        wanted = list(instance_ids)
+        if not wanted:
+            return 0
+        fresh = self.reconfigure_components(partial, wanted)
+        for instance in fresh:
+            if instance.id in spec and instance != spec[instance.id]:
+                raise ConfigurationError(
+                    f"goal drift: instance {instance.id!r} no longer "
+                    "matches its configured definition; refusing to act "
+                    "on an unverified goal"
+                )
+        return len(fresh)
+
     # -- The parallel pipeline -------------------------------------------
 
     def _configure_parallel(

@@ -93,12 +93,15 @@ class PackageDriver(ResourceDriver):
             version,
             prerequisites=self.os_prerequisites,
             install_root=self.install_root,
+            owner=self.context.instance.id,
         )
 
     def do_uninstall(self) -> None:
         name, _ = self.artifact()
         if self.context.package_manager.is_installed(name):
-            self.context.package_manager.remove(name)
+            self.context.package_manager.remove(
+                name, owner=self.context.instance.id
+            )
 
     def install_path(self) -> str:
         name, _ = self.artifact()

@@ -214,7 +214,9 @@ class MySqlDriver(ServiceDriver):
         self.do_stop()
         name, _ = self.artifact()
         if self.context.package_manager.is_installed(name):
-            self.context.package_manager.remove(name)
+            self.context.package_manager.remove(
+                name, owner=self.context.instance.id
+            )
 
 
 class PostgresDriver(ServiceDriver):
@@ -236,7 +238,9 @@ class PostgresDriver(ServiceDriver):
         self.do_stop()
         name, _ = self.artifact()
         if self.context.package_manager.is_installed(name):
-            self.context.package_manager.remove(name)
+            self.context.package_manager.remove(
+                name, owner=self.context.instance.id
+            )
 
 
 class SqliteDriver(PackageDriver):
@@ -253,7 +257,9 @@ class SqliteDriver(PackageDriver):
         # Keep the data directory, mirroring MySqlDriver.
         name, _ = self.artifact()
         if self.context.package_manager.is_installed(name):
-            self.context.package_manager.remove(name)
+            self.context.package_manager.remove(
+                name, owner=self.context.instance.id
+            )
 
 
 class RedisDriver(ServiceDriver):

@@ -15,7 +15,19 @@ from repro.runtime.deploy import (
     DeploymentReport,
     standard_driver_registry,
 )
-from repro.runtime.journal import DeploymentJournal, JournalDiff, JournalEntry
+from repro.runtime.delta import (
+    DeltaPlan,
+    DeltaResult,
+    execute_delta,
+    plan_delta,
+    rebase_journal,
+)
+from repro.runtime.journal import (
+    DeploymentJournal,
+    JournalDiff,
+    JournalEntry,
+    SpecTransition,
+)
 from repro.runtime.monitor import (
     MONIT_KEY,
     MonitorEvent,
@@ -61,6 +73,8 @@ from repro.runtime.upgrade import (
 __all__ = [
     "ActionRecord",
     "DEFAULT_CHAOS_POLICY",
+    "DeltaPlan",
+    "DeltaResult",
     "DeployedSystem",
     "DeploymentEngine",
     "DagScheduler",
@@ -92,10 +106,14 @@ __all__ = [
     "MonitorEvent",
     "ProcessMonitor",
     "SpecDiff",
+    "SpecTransition",
     "UpgradeEngine",
     "UpgradeResult",
     "add_monitoring",
     "diff_specs",
+    "execute_delta",
+    "plan_delta",
+    "rebase_journal",
     "discover_machine",
     "load_system",
     "machine_os_identity",

@@ -1,0 +1,590 @@
+"""Delta deployment planning: spec-to-spec transitions for live fleets.
+
+The paper's upgrade protocol stops everything, replaces everything, and
+restarts everything -- "all upgrades using this approach experience the
+worst case upgrade time" (S5.2).  This module treats reconfiguration as
+plan synthesis instead: diff the *live* system (drivers + journal +
+world) against a newly configured full spec and emit a minimal,
+dependency-ordered :class:`~repro.runtime.reconcile.TransitionPlan`
+covering the changed-goal case that PR 7's repair planner refuses:
+
+* ``INSTALL`` for instances only the new spec contains (machines
+  included -- new hosts register on first touch);
+* ``UPGRADE`` / ``RECONFIGURE`` for instances whose key, config, or
+  placement changed -- torn down and re-deployed in place;
+* ``UNINSTALL`` for instances only the old spec contains, in reverse
+  dependency order, and ``RETIRE`` for the machines they vacate;
+* ``RESTART`` for unchanged dependents in the stop closure (their
+  upstream comes back with fresh endpoints) and for services found
+  crashed.
+
+Execution runs through :meth:`DeploymentEngine.drive_instances`, so a
+delta transition gets the DAG scheduler, :class:`RetryPolicy`, and the
+write-ahead journal that plain upgrades bypass.  The journal carries a
+:class:`~repro.runtime.journal.SpecTransition` record while the old
+spec's down phase is in flight, so a crash *anywhere* in the transition
+resumes with ``deploy --resume`` -- the down phase finishes under the
+old spec's drivers, the machines retire, and the up phase completes
+under the new spec, exactly where it left off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.errors import DeploymentFailure, RuntimeEngageError
+from repro.core.instances import InstallSpec, ResourceInstance
+from repro.drivers.state_machine import ACTIVE, INACTIVE, UNINSTALLED
+from repro.runtime.deploy import (
+    DeployedSystem,
+    DeploymentEngine,
+    DeploymentReport,
+)
+from repro.runtime.journal import (
+    DeploymentJournal,
+    JournalEntry,
+    SpecTransition,
+)
+from repro.runtime.reconcile import (
+    RepairOp,
+    RepairStep,
+    TransitionPlan,
+    _merge_reports,
+    detect_drift,
+)
+from repro.runtime.retry import RetryPolicy
+from repro.runtime.upgrade import SpecDiff, diff_specs
+
+
+def _machine_hostname(instance: ResourceInstance) -> Optional[str]:
+    """The hostname a machine instance is bound to (config first, then
+    the provisioner's output record) -- mirrors
+    :meth:`DeploymentEngine._resolve_machines`."""
+    hostname = instance.config.get("hostname")
+    if not hostname:
+        host_record = instance.outputs.get("host")
+        if isinstance(host_record, dict):
+            hostname = host_record.get("hostname")
+    return str(hostname) if hostname else None
+
+
+@dataclass
+class DeltaPlan:
+    """A planned spec-to-spec transition, phase by phase.
+
+    ``plan`` is the shared :class:`TransitionPlan` presentation (one
+    step per instance, execution order); the phase lists below are what
+    :func:`execute_delta` actually drives:
+
+    * ``stop_down`` -- reverse old-spec order: every instance that must
+      leave ``active`` before teardown (replaced + removed + their
+      dependent closure);
+    * ``uninstall_down`` -- reverse old-spec order: replaced + removed;
+    * ``retire_hostnames`` -- machines only the old spec wants,
+      deregistered after the down phase empties them;
+    * ``up`` -- new-spec order: everything not already converged
+      (added + replaced + stopped closure + stragglers);
+    * ``restart`` -- services whose journal record says converged but
+      whose process died: bounced after the up phase.
+
+    ``len(plan)`` counts steps; the elasticity benchmark compares it to
+    the fleet size to assert the plan scales with the *diff*.
+    """
+
+    plan: TransitionPlan
+    old_spec: InstallSpec
+    new_spec: InstallSpec
+    diff: SpecDiff
+    target: str = ACTIVE
+    stop_down: list[str] = field(default_factory=list)
+    uninstall_down: list[str] = field(default_factory=list)
+    retire_hostnames: list[str] = field(default_factory=list)
+    up: list[str] = field(default_factory=list)
+    restart: list[str] = field(default_factory=list)
+    #: Instances re-derived through the warm constraint solver (0 when
+    #: planning without a session).
+    revalidated: int = 0
+
+    @property
+    def is_noop(self) -> bool:
+        return self.plan.is_noop
+
+    def __len__(self) -> int:
+        return len(self.plan)
+
+    def to_payload(self) -> dict:
+        return {
+            "target": self.target,
+            "noop": self.is_noop,
+            "fleet_size": len(self.new_spec),
+            "diff": self.diff.to_payload(),
+            "plan": self.plan.to_payload(),
+            "phases": {
+                "stop": list(self.stop_down),
+                "uninstall": list(self.uninstall_down),
+                "retire": list(self.retire_hostnames),
+                "up": list(self.up),
+                "restart": list(self.restart),
+            },
+            "revalidated": self.revalidated,
+        }
+
+
+@dataclass
+class DeltaResult:
+    """The outcome of an executed delta transition."""
+
+    system: DeployedSystem
+    journal: DeploymentJournal
+    plan: DeltaPlan
+    report: DeploymentReport
+
+
+def plan_delta(
+    system: DeployedSystem,
+    new_spec: InstallSpec,
+    *,
+    target: str = ACTIVE,
+    session=None,
+    new_partial=None,
+) -> DeltaPlan:
+    """Diff the live ``system`` against ``new_spec`` and plan the
+    minimal transition.
+
+    The definition-level diff (:func:`diff_specs`) decides what is
+    added/replaced/removed; the live drift report
+    (:func:`detect_drift` with the subset restriction lifted) folds in
+    what the world actually looks like -- unchanged instances that
+    never converged are re-driven, crashed services restarted.  Lost
+    machines are *not* delta work: reconcile repairs the world first,
+    then the delta moves it.
+
+    With a ``session``/``new_partial`` pair, every instance the plan
+    deploys is first re-derived through the warm per-component solver
+    and checked against ``new_spec``
+    (:meth:`ConfigurationSession.revalidate_instances`) -- the same
+    goal-drift guard the reconcile loop runs before repairing.
+    """
+    old_spec = system.spec
+    diff = diff_specs(old_spec, new_spec)
+    drift = detect_drift(system, goal=new_spec, target=target, allow_new=True)
+    if drift.lost_machines:
+        raise RuntimeEngageError(
+            "cannot plan a delta transition over lost machines "
+            f"{drift.lost_machines}: reconcile the fleet first "
+            "(see repro.runtime.reconcile)"
+        )
+
+    old_order = {
+        instance.id: index
+        for index, instance in enumerate(old_spec.topological_order())
+    }
+    new_order = {
+        instance.id: index
+        for index, instance in enumerate(new_spec.topological_order())
+    }
+
+    replaced = set(diff.upgraded) | set(diff.reconfigured) | set(diff.moved)
+    removed = set(diff.removed)
+    teardown = replaced | removed
+
+    # Downstream closure over the OLD spec: stopping a replaced/removed
+    # instance requires every dependent inactive first (guards), even
+    # dependents that are themselves unchanged.
+    closure = set(teardown)
+    frontier = list(teardown)
+    while frontier:
+        current = frontier.pop()
+        for dependent in old_spec.downstream_ids(current):
+            if dependent not in closure:
+                closure.add(dependent)
+                frontier.append(dependent)
+    stop_only = closure - teardown
+
+    stop_down = sorted(closure, key=lambda iid: old_order[iid], reverse=True)
+    uninstall_down = sorted(
+        teardown, key=lambda iid: old_order[iid], reverse=True
+    )
+
+    new_machine_hosts = {
+        _machine_hostname(instance) for instance in new_spec.machines()
+    }
+    retire_hostnames = sorted(
+        hostname
+        for instance in old_spec.machines()
+        if instance.id in removed
+        and (hostname := _machine_hostname(instance)) is not None
+        and hostname not in new_machine_hosts
+    )
+
+    # Live stragglers: unchanged instances drift says never converged
+    # (an interrupted earlier deploy), and crashed-but-converged
+    # services.  Replaced/added instances are already planned above.
+    missing = set(drift.missing_instances)
+    added = set(diff.added)
+    stragglers = (missing - added - replaced) - stop_only
+    restart_live = sorted(
+        iid
+        for iid in drift.crashed_services
+        if iid not in closure and iid not in added and iid not in missing
+    )
+
+    up = sorted(
+        added | replaced | stop_only | stragglers,
+        key=lambda iid: new_order[iid],
+    )
+
+    steps: list[RepairStep] = []
+    for iid in uninstall_down:
+        if iid in replaced:
+            continue  # one UPGRADE/RECONFIGURE step covers the teardown
+        if old_spec[iid].is_machine():
+            steps.append(
+                RepairStep(RepairOp.RETIRE, iid, "machine removed from spec")
+            )
+        else:
+            steps.append(
+                RepairStep(RepairOp.UNINSTALL, iid, "removed from spec")
+            )
+    upgraded = set(diff.upgraded)
+    moved = set(diff.moved)
+    for iid in sorted(replaced, key=lambda iid: new_order[iid]):
+        if iid in upgraded:
+            steps.append(
+                RepairStep(
+                    RepairOp.UPGRADE, iid,
+                    f"key changed: {old_spec[iid].key} -> {new_spec[iid].key}",
+                )
+            )
+        elif iid in moved:
+            steps.append(
+                RepairStep(
+                    RepairOp.UPGRADE, iid,
+                    "moved: "
+                    f"{old_spec[iid].machine_id(old_spec)} -> "
+                    f"{new_spec[iid].machine_id(new_spec)}",
+                )
+            )
+        else:
+            steps.append(
+                RepairStep(RepairOp.RECONFIGURE, iid, "config changed")
+            )
+    for iid in sorted(added, key=lambda iid: new_order[iid]):
+        reason = (
+            "new machine" if new_spec[iid].is_machine() else "added to spec"
+        )
+        steps.append(RepairStep(RepairOp.INSTALL, iid, reason))
+    for iid in sorted(stragglers, key=lambda iid: new_order[iid]):
+        steps.append(RepairStep(RepairOp.REDEPLOY, iid, "not at target"))
+    for iid in sorted(stop_only, key=lambda iid: new_order[iid]):
+        steps.append(RepairStep(RepairOp.RESTART, iid, "upstream replaced"))
+    for iid in restart_live:
+        steps.append(RepairStep(RepairOp.RESTART, iid, "process died"))
+
+    delta = DeltaPlan(
+        plan=TransitionPlan(steps=steps, target=target),
+        old_spec=old_spec,
+        new_spec=new_spec,
+        diff=diff,
+        target=target,
+        stop_down=stop_down,
+        uninstall_down=uninstall_down,
+        retire_hostnames=retire_hostnames,
+        up=up,
+        restart=restart_live,
+    )
+
+    if session is not None or new_partial is not None:
+        if session is None or new_partial is None:
+            raise RuntimeEngageError(
+                "delta revalidation needs both a ConfigurationSession and "
+                "the new goal's partial spec (or neither)"
+            )
+        affected = sorted(
+            (added | replaced | stragglers), key=lambda iid: new_order[iid]
+        )
+        delta.revalidated = session.revalidate_instances(
+            new_partial, new_spec, affected
+        )
+
+    return delta
+
+
+def rebase_journal(
+    system: DeployedSystem, delta: DeltaPlan
+) -> DeploymentJournal:
+    """Build the transition's write-ahead journal, bound to the *new*
+    spec.
+
+    Every entry of the system's journal that concerns an old-spec
+    instance is carried over (per-instance chains stay intact); where
+    the carried record disagrees with -- or is silent about -- the live
+    driver state, an ``observe:adopted`` entry pins the frontier to the
+    facts, so a resume after a crash reconstructs exactly the states the
+    transition started from.  Unchanged instances already at the target
+    that the down phase will not touch are marked completed: the up
+    phase skips them, which is what makes the plan O(diff).
+    """
+    journal = DeploymentJournal(delta.new_spec, target=delta.target)
+    old_ids = set(delta.old_spec.ids())
+    old_journal = system.journal
+    if old_journal is not None:
+        for entry in old_journal.entries:
+            if entry.instance_id in old_ids:
+                journal.record(entry)
+    frontier = journal.states()
+    clock = system.infrastructure.clock
+    for instance in delta.old_spec.topological_order():
+        iid = instance.id
+        if iid not in system.drivers:
+            continue
+        live = system.state_of(iid)
+        recorded = frontier.get(iid)
+        if recorded is None:
+            if live != system.driver(iid).machine_spec.initial:
+                journal.record(
+                    JournalEntry(iid, "observe:adopted", live, live, clock.now)
+                )
+        elif recorded != live:
+            journal.record(
+                JournalEntry(iid, "observe:adopted", recorded, live, clock.now)
+            )
+    stop_set = set(delta.stop_down)
+    for iid in delta.diff.unchanged:
+        if iid in stop_set or iid not in system.drivers:
+            continue
+        if system.state_of(iid) == delta.target:
+            journal.mark_completed(iid)
+    return journal
+
+
+def _run_down_phase(
+    engine: DeploymentEngine,
+    old_system: DeployedSystem,
+    journal: DeploymentJournal,
+    stop_ids: list[str],
+    uninstall_ids: list[str],
+    report: DeploymentReport,
+    *,
+    policy: Optional[RetryPolicy] = None,
+    jobs: Optional[int] = None,
+    jobs_per_host: Optional[int] = None,
+) -> None:
+    """Drive the old spec down: stop the closure, uninstall the
+    teardown set -- journalled, so each completed transition survives a
+    crash.  Filtered by live state: a resume must not *install* an
+    instance merely to uninstall it again."""
+    stop_now = [
+        iid for iid in stop_ids if old_system.state_of(iid) == ACTIVE
+    ]
+    if stop_now:
+        _merge_reports(
+            report,
+            engine.drive_instances(
+                old_system, stop_now, INACTIVE, reverse=True,
+                policy=policy, journal=journal,
+                jobs=jobs, jobs_per_host=jobs_per_host,
+            ),
+        )
+    uninstall_now = [
+        iid
+        for iid in uninstall_ids
+        if old_system.state_of(iid) != UNINSTALLED
+    ]
+    if uninstall_now:
+        _merge_reports(
+            report,
+            engine.drive_instances(
+                old_system, uninstall_now, UNINSTALLED, reverse=True,
+                policy=policy, journal=journal,
+                jobs=jobs, jobs_per_host=jobs_per_host,
+            ),
+        )
+
+
+def _finish_down_phase(
+    engine: DeploymentEngine, journal: DeploymentJournal
+) -> None:
+    """Retire the vacated machines and close the transition record --
+    from here on the journal speaks only the new spec's language."""
+    transition = journal.transition
+    if transition is None:
+        return
+    for hostname in transition.retire:
+        if engine.infrastructure.network.has_machine(hostname):
+            engine.infrastructure.remove_machine(hostname)
+    journal.finish_transition()
+
+
+def _new_system_for_failure(
+    engine: DeploymentEngine,
+    old_system: DeployedSystem,
+    delta: DeltaPlan,
+) -> DeployedSystem:
+    """A new-spec system snapshot for a failure bundle.
+
+    A down-phase failure is raised holding the *old* system, but the
+    resumable bundle must be keyed by the journal's spec -- the new one
+    -- or reloading would rebind the journal to the wrong spec.
+    Surviving unchanged drivers come across live; everything else sits
+    at its initial state, which is exactly what the journal's
+    transition record says still needs doing."""
+    survivors = {
+        iid: old_system.drivers[iid]
+        for iid in delta.diff.unchanged
+        if iid in old_system.drivers
+    }
+    return engine.prepare(delta.new_spec, reuse_drivers=survivors)
+
+
+def execute_delta(
+    engine: DeploymentEngine,
+    system: DeployedSystem,
+    delta: DeltaPlan,
+    *,
+    policy: Optional[RetryPolicy] = None,
+    jobs: Optional[int] = None,
+    jobs_per_host: Optional[int] = None,
+) -> DeltaResult:
+    """Execute a planned delta transition on the live ``system``.
+
+    Phases: (1) journal rebase + transition record, (2) down phase on
+    the old spec (stop closure, uninstall teardown -- reverse order),
+    (3) machine retirement + transition close, (4) up phase on the new
+    spec through :meth:`DeploymentEngine.drive_instances` (DAG
+    scheduler, retries, journalling), (5) restarts of crashed-but-
+    converged services.  On failure the raised
+    :class:`DeploymentFailure` carries the new-spec system and the
+    transition journal: persist them with the world and ``deploy
+    --resume`` finishes the transition.
+    """
+    journal = rebase_journal(system, delta)
+    report = DeploymentReport(jobs=jobs)
+
+    if delta.stop_down or delta.uninstall_down or delta.retire_hostnames:
+        journal.begin_transition(
+            SpecTransition(
+                from_spec=delta.old_spec,
+                pending=list(delta.uninstall_down),
+                stop=list(delta.stop_down),
+                retire=list(delta.retire_hostnames),
+            )
+        )
+        try:
+            _run_down_phase(
+                engine, system, journal,
+                delta.stop_down, delta.uninstall_down, report,
+                policy=policy, jobs=jobs, jobs_per_host=jobs_per_host,
+            )
+        except DeploymentFailure as failure:
+            raise DeploymentFailure(
+                f"delta down phase failed: {failure}",
+                journal=journal,
+                completed=set(journal.completed),
+                failed=dict(journal.failed),
+                skipped=set(journal.skipped),
+                report=report,
+                system=_new_system_for_failure(engine, system, delta),
+            ) from failure
+        _finish_down_phase(engine, journal)
+
+    survivors = {
+        iid: system.drivers[iid]
+        for iid in delta.diff.unchanged
+        if iid in system.drivers
+    }
+    new_system = engine.prepare(delta.new_spec, reuse_drivers=survivors)
+    new_system.journal = journal
+    journal.reset_frontier()
+    up_ids = [
+        instance.id
+        for instance in delta.new_spec.topological_order()
+        if instance.id not in journal.completed
+    ]
+    if up_ids:
+        _merge_reports(
+            report,
+            engine.drive_instances(
+                new_system, up_ids, delta.target,
+                policy=policy, journal=journal,
+                jobs=jobs, jobs_per_host=jobs_per_host,
+            ),
+        )
+
+    for iid in delta.restart:
+        driver = new_system.driver(iid)
+        if driver.state != ACTIVE:
+            continue  # handled by the up phase after all
+        transition = driver.machine_spec.find(ACTIVE, "restart")
+        engine._check_guard(new_system, iid, transition)
+        engine._perform_with_retry(
+            new_system, iid, transition, report,
+            policy=policy, journal=journal,
+        )
+
+    journal.sort_entries_by_time()
+    new_system.report = report
+    return DeltaResult(
+        system=new_system, journal=journal, plan=delta, report=report
+    )
+
+
+def complete_down_phase(
+    engine: DeploymentEngine,
+    journal: DeploymentJournal,
+    *,
+    policy: Optional[RetryPolicy] = None,
+    jobs: Optional[int] = None,
+    jobs_per_host: Optional[int] = None,
+) -> None:
+    """Finish an interrupted delta down phase from its journal.
+
+    Called by :meth:`DeploymentEngine.resume` when the journal carries
+    a :class:`SpecTransition`: the old system is reconstructed from the
+    recorded old spec, its drivers adopt the journal frontier (live
+    processes reattach), the remaining stop/uninstall work runs --
+    filtered by adopted state, so finished work no-ops -- the vacated
+    machines retire, and the transition record closes.  The caller then
+    resumes the up phase normally."""
+    from repro.runtime.state import adopt_states
+
+    transition = journal.transition
+    if transition is None:
+        return
+    journal.reset_frontier()
+    old_system = engine.prepare(transition.from_spec)
+    old_ids = set(transition.from_spec.ids())
+    frontier = {
+        iid: state
+        for iid, state in journal.states().items()
+        if iid in old_ids
+    }
+    adopt_states(old_system, frontier, partial=True)
+    report = DeploymentReport(jobs=jobs)
+    try:
+        _run_down_phase(
+            engine, old_system, journal,
+            list(transition.stop), list(transition.pending), report,
+            policy=policy, jobs=jobs, jobs_per_host=jobs_per_host,
+        )
+    except DeploymentFailure as failure:
+        delta_like_system = engine.prepare(
+            journal.spec,
+            reuse_drivers={
+                iid: old_system.drivers[iid]
+                for iid in old_ids
+                if iid in journal.spec
+                and iid not in set(transition.pending)
+            },
+        )
+        raise DeploymentFailure(
+            f"delta down phase failed again: {failure}",
+            journal=journal,
+            completed=set(journal.completed),
+            failed=dict(journal.failed),
+            skipped=set(journal.skipped),
+            report=report,
+            system=delta_like_system,
+        ) from failure
+    _finish_down_phase(engine, journal)

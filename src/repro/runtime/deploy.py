@@ -270,8 +270,24 @@ class DeploymentEngine:
         scattered across independent branches, not a topological prefix)
         re-adopt the same way.  Raises :class:`DeploymentFailure` again
         if the remaining work fails too.
+
+        A journal carrying a :class:`~repro.runtime.journal
+        .SpecTransition` record was interrupted mid-way through a delta
+        transition's down phase: the old spec's remaining stop/
+        uninstall work is completed first (under the old spec's own
+        drivers -- uninstalling the *old* version, not the new one),
+        the vacated machines retire, and only then does the up phase
+        resume under the journal's spec.
         """
         from repro.runtime.state import adopt_states
+
+        if journal.transition is not None:
+            from repro.runtime.delta import complete_down_phase
+
+            complete_down_phase(
+                self, journal,
+                policy=policy, jobs=jobs, jobs_per_host=jobs_per_host,
+            )
 
         system = self.prepare(journal.spec)
         adopt_states(system, journal.states(), partial=True)

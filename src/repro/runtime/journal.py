@@ -18,6 +18,7 @@ failed instance has been acted on.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -100,6 +101,70 @@ class JournalDiff:
         }
 
 
+@dataclass
+class SpecTransition:
+    """The in-flight record of a spec-to-spec delta transition.
+
+    A delta transition first drives instances of the *old* spec down
+    (stop the dependent closure, uninstall replaced/removed instances,
+    retire vacated machines) before the journal's own spec -- the new
+    one -- takes over.  While that down phase is running, the journal
+    must be able to describe work on instances the new spec has never
+    heard of; this record carries everything a resuming engine needs to
+    reconstruct the old system and finish the down phase: the full old
+    spec, the ids still to be uninstalled (reverse dependency order),
+    the ids that only need stopping (the dependent closure), and the
+    hostnames to retire from the infrastructure once the down phase is
+    done.  :meth:`DeploymentJournal.finish_transition` clears it and
+    purges the old-only ids, returning the journal to the invariant
+    that it mentions only instances of its own spec.
+    """
+
+    from_spec: InstallSpec
+    pending: list[str] = field(default_factory=list)
+    stop: list[str] = field(default_factory=list)
+    retire: list[str] = field(default_factory=list)
+
+    def to_payload(self) -> dict:
+        from repro.dsl.json_spec import full_to_json
+
+        return {
+            "from_spec": json.loads(full_to_json(self.from_spec)),
+            "pending": list(self.pending),
+            "stop": list(self.stop),
+            "retire": list(self.retire),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SpecTransition":
+        from repro.dsl.json_spec import full_from_json
+
+        if not isinstance(payload, dict):
+            raise RuntimeEngageError(
+                "journal 'transition' must be an object"
+            )
+        try:
+            from_spec = full_from_json(json.dumps(payload["from_spec"]))
+        except KeyError as exc:
+            raise RuntimeEngageError(
+                "journal transition is missing 'from_spec'"
+            ) from exc
+        transition = cls(
+            from_spec=from_spec,
+            pending=[str(iid) for iid in payload.get("pending", ())],
+            stop=[str(iid) for iid in payload.get("stop", ())],
+            retire=[str(host) for host in payload.get("retire", ())],
+        )
+        old_ids = set(from_spec.ids())
+        unknown = (set(transition.pending) | set(transition.stop)) - old_ids
+        if unknown:
+            raise RuntimeEngageError(
+                "journal transition names instances outside its old "
+                f"spec: {sorted(unknown)}"
+            )
+        return transition
+
+
 class DeploymentJournal:
     """An append-only record of one deployment pass over a spec."""
 
@@ -110,6 +175,7 @@ class DeploymentJournal:
         self.completed: set[str] = set()
         self.failed: dict[str, str] = {}  # instance id -> error message
         self.skipped: set[str] = set()
+        self.transition: Optional[SpecTransition] = None
 
     # -- Recording -------------------------------------------------------
 
@@ -158,6 +224,36 @@ class DeploymentJournal:
             )
         )
         self.completed.discard(instance_id)
+
+    # -- Spec-to-spec transitions ----------------------------------------
+
+    def begin_transition(self, transition: SpecTransition) -> None:
+        """Arm the journal for a delta down phase on ``transition``'s
+        old spec.  Persisted with the journal, so a crash anywhere in
+        the down phase leaves enough to resume it."""
+        if self.transition is not None:
+            raise RuntimeEngageError(
+                "a spec transition is already in progress"
+            )
+        self.transition = transition
+
+    def finish_transition(self) -> None:
+        """The down phase is done: drop the transition record and purge
+        every mention of instances the journal's own spec does not
+        know, restoring the single-spec invariant ``from_payload``
+        checks."""
+        if self.transition is None:
+            raise RuntimeEngageError("no spec transition is in progress")
+        known = set(self.spec.ids())
+        self.entries = [
+            entry for entry in self.entries if entry.instance_id in known
+        ]
+        self.completed &= known
+        self.failed = {
+            iid: error for iid, error in self.failed.items() if iid in known
+        }
+        self.skipped &= known
+        self.transition = None
 
     def reset_frontier(self) -> None:
         """Forget failure bookkeeping before a resume re-drives the
@@ -225,13 +321,16 @@ class DeploymentJournal:
     # -- Persistence payload (embedded by repro.runtime.state) -----------
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "target": self.target,
             "entries": [entry.to_payload() for entry in self.entries],
             "completed": sorted(self.completed),
             "failed": dict(sorted(self.failed.items())),
             "skipped": sorted(self.skipped),
         }
+        if self.transition is not None:
+            payload["transition"] = self.transition.to_payload()
+        return payload
 
     @classmethod
     def from_payload(
@@ -248,12 +347,23 @@ class DeploymentJournal:
             raise RuntimeEngageError("journal 'failed' must be an object")
         journal.failed = dict(failed)
         journal.skipped = set(payload.get("skipped", ()))
+        if "transition" in payload:
+            journal.transition = SpecTransition.from_payload(
+                payload["transition"]
+            )
+        # While a delta down phase is in flight the journal legitimately
+        # records work on instances only the *old* spec knows; those ids
+        # are purged by finish_transition, so outside a transition the
+        # journal must mention its own spec's instances only.
+        known = set(spec.ids())
+        if journal.transition is not None:
+            known |= set(journal.transition.from_spec.ids())
         unknown = (
             set(journal.completed)
             | set(journal.failed)
             | journal.skipped
             | {entry.instance_id for entry in journal.entries}
-        ) - set(spec.ids())
+        ) - known
         if unknown:
             raise RuntimeEngageError(
                 f"journal mentions unknown instances: {sorted(unknown)}"

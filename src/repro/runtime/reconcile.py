@@ -39,7 +39,11 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional
 
-from repro.core.errors import DeploymentError, RuntimeEngageError
+from repro.core.errors import (
+    ConfigurationError,
+    DeploymentError,
+    RuntimeEngageError,
+)
 from repro.core.instances import InstallSpec
 from repro.drivers.library import ServiceDriver
 from repro.drivers.state_machine import ACTIVE, INACTIVE, UNINSTALLED
@@ -145,6 +149,7 @@ def detect_drift(
     *,
     goal: Optional[InstallSpec] = None,
     target: str = ACTIVE,
+    allow_new: bool = False,
 ) -> DriftReport:
     """Diff the live world against ``goal`` (default: the deployed spec).
 
@@ -161,12 +166,18 @@ def detect_drift(
     * **extra instances** -- deployed instances the goal no longer
       contains, still materialised (state ≠ ``uninstalled``).
 
-    ``goal`` must be a subset of the deployed spec: growing the goal is
-    an upgrade (see :mod:`repro.runtime.upgrade`), not a repair.
+    By default ``goal`` must be a subset of the deployed spec: growing
+    the goal is an upgrade (see :mod:`repro.runtime.upgrade`), not a
+    repair.  The delta planner (:mod:`repro.runtime.delta`) passes
+    ``allow_new=True`` to lift that restriction -- goal instances the
+    deployed spec has never heard of are then reported as
+    ``MISSING_INSTANCE`` items in the ``uninstalled`` state, which is
+    exactly what they are from the live world's point of view.
     """
     goal_spec = goal if goal is not None else system.spec
-    unknown = set(goal_spec.ids()) - set(system.spec.ids())
-    if unknown:
+    deployed_ids = set(system.spec.ids())
+    unknown = set(goal_spec.ids()) - deployed_ids
+    if unknown and not allow_new:
         raise RuntimeEngageError(
             "reconcile goal mentions instances the deployed spec does not "
             f"contain (growing the goal is an upgrade): {sorted(unknown)}"
@@ -206,7 +217,11 @@ def detect_drift(
     for instance in goal_spec.topological_order():
         if instance.id in lost_ids:
             continue
-        state = system.state_of(instance.id)
+        state = (
+            system.state_of(instance.id)
+            if instance.id in deployed_ids
+            else UNINSTALLED
+        )
         if state != target:
             items.append(
                 DriftItem(DriftKind.MISSING_INSTANCE, instance.id, state)
@@ -229,7 +244,7 @@ def detect_drift(
 
 
 class RepairOp(Enum):
-    """What a repair step does to its instance."""
+    """What a repair or delta-transition step does to its instance."""
 
     #: Bounce the dead process of a still-installed service.
     RESTART = "restart"
@@ -241,6 +256,15 @@ class RepairOp(Enum):
     REDEPLOY = "redeploy"
     #: Stop and remove an instance the goal no longer wants.
     UNINSTALL = "uninstall"
+    #: Deploy an instance the old spec never contained (delta only).
+    INSTALL = "install"
+    #: Tear the old version down and deploy the new one in its place --
+    #: the instance's key changed, or it moved to another machine.
+    UPGRADE = "upgrade"
+    #: Same mechanics as UPGRADE, but driven by a config-only change.
+    RECONFIGURE = "reconfigure"
+    #: Deregister a machine the new spec no longer wants (delta only).
+    RETIRE = "retire"
 
 
 @dataclass(frozen=True)
@@ -480,7 +504,17 @@ def execute_plan(
     for machine_id in plan.instances(RepairOp.REPROVISION):
         _replace_machine(system, machine_id, journal)
 
-    redeploy = plan.instances(RepairOp.REDEPLOY)
+    # Delta up-phase ops share the redeploy mechanics: after the down
+    # phase has run, install/upgrade/reconfigure are all "drive to the
+    # target through the normal state-machine path".
+    redeploy = [
+        step.instance_id
+        for step in plan.steps
+        if step.op in (
+            RepairOp.REDEPLOY, RepairOp.INSTALL,
+            RepairOp.UPGRADE, RepairOp.RECONFIGURE,
+        )
+    ]
     if redeploy:
         _merge_reports(
             report,
@@ -632,17 +666,14 @@ class ReconcileController:
         affected = plan.instances(RepairOp.REDEPLOY)
         if self.session is None or not affected:
             return 0
-        fresh = self.session.reconfigure_components(
-            self.goal_partial, affected
-        )
-        for instance in fresh:
-            if instance.id in self.goal and instance != self.goal[instance.id]:
-                raise RuntimeEngageError(
-                    f"goal drift: instance {instance.id!r} no longer "
-                    "matches its configured definition; refusing to repair "
-                    "toward an unverified goal"
-                )
-        return len(fresh)
+        try:
+            return self.session.revalidate_instances(
+                self.goal_partial, self.goal, affected
+            )
+        except ConfigurationError as exc:
+            if "goal drift" not in str(exc):
+                raise
+            raise RuntimeEngageError(str(exc)) from exc
 
     def poll(self) -> ReconcileRound:
         """One reconcile round: detect, plan, (re-validate,) repair,

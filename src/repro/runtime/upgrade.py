@@ -36,7 +36,18 @@ class SpecDiff:
     removed: list[str] = field(default_factory=list)
     upgraded: list[str] = field(default_factory=list)  # same id, new key
     reconfigured: list[str] = field(default_factory=list)  # same key, new config
+    moved: list[str] = field(default_factory=list)  # same key/config, new host
     unchanged: list[str] = field(default_factory=list)
+
+    def to_payload(self) -> dict:
+        return {
+            "added": list(self.added),
+            "removed": list(self.removed),
+            "upgraded": list(self.upgraded),
+            "reconfigured": list(self.reconfigured),
+            "moved": list(self.moved),
+            "unchanged": len(self.unchanged),
+        }
 
 
 def diff_specs(old: InstallSpec, new: InstallSpec) -> SpecDiff:
@@ -52,20 +63,46 @@ def diff_specs(old: InstallSpec, new: InstallSpec) -> SpecDiff:
             diff.upgraded.append(instance_id)
         elif before.config != after.config:
             diff.reconfigured.append(instance_id)
+        elif (
+            not before.is_machine()
+            and before.machine_id(old) != after.machine_id(new)
+        ):
+            # Same key, same config -- but relocated: the old host must
+            # lose the instance and the new host gain it.  Comparing
+            # key/config alone used to classify this "unchanged" and
+            # leave the instance running on the old machine.
+            diff.moved.append(instance_id)
         else:
             diff.unchanged.append(instance_id)
     return diff
 
 
+def _describe_exception(exc: BaseException) -> str:
+    """``"ExceptionType: message"`` -- never empty.
+
+    ``str(exc)`` alone is empty for bare exceptions and silently drops
+    the type either way, which left CLI failure output blank exactly
+    when the error was least expected."""
+    message = str(exc)
+    name = type(exc).__name__
+    return f"{name}: {message}" if message else name
+
+
 @dataclass
 class UpgradeResult:
-    """Outcome of an upgrade attempt."""
+    """Outcome of an upgrade attempt.
+
+    ``error`` is a human-readable ``"ExceptionType: message"`` string;
+    ``exception`` carries the original exception object for callers
+    that need to branch on its type (the CLI names the class in its
+    failure line)."""
 
     succeeded: bool
     rolled_back: bool
     diff: SpecDiff
     system: DeployedSystem
     error: Optional[str] = None
+    exception: Optional[BaseException] = None
 
 
 class UpgradeEngine:
@@ -119,8 +156,14 @@ class UpgradeEngine:
           work: untouched instances keep running; only changed/removed
           instances and their transitive dependents are stopped,
           replaced, and restarted.
+        * ``"delta"`` -- plan synthesis through the delta planner
+          (:mod:`repro.runtime.delta`): the same minimal transition as
+          ``in_place`` but executed through ``drive_instances`` with a
+          write-ahead journal, the DAG scheduler, and retries.  Still
+          transactional here (failure rolls back from backup); use
+          ``deploy --delta`` for the journalled resume-on-crash path.
         """
-        if strategy not in ("replace", "in_place"):
+        if strategy not in ("replace", "in_place", "delta"):
             raise UpgradeError(f"unknown upgrade strategy: {strategy!r}")
         new_spec = self._config.configure(new_partial).spec
         diff = diff_specs(system.spec, new_spec)
@@ -143,6 +186,13 @@ class UpgradeEngine:
                 new_system = self._deploy.deploy(
                     new_spec, **self._pass_kwargs()
                 )
+            elif strategy == "delta":
+                from repro.runtime.delta import execute_delta, plan_delta
+
+                delta = plan_delta(system, new_spec)
+                new_system = execute_delta(
+                    self._deploy, system, delta, **self._pass_kwargs()
+                ).system
             else:
                 new_system = self._upgrade_in_place(system, new_spec, diff)
             return UpgradeResult(
@@ -152,13 +202,16 @@ class UpgradeEngine:
                 system=new_system,
             )
         except Exception as exc:
-            rolled_back_system = self._rollback(system, old_spec, backups)
+            rolled_back_system = self._rollback(
+                system, old_spec, new_spec, backups
+            )
             return UpgradeResult(
                 succeeded=False,
                 rolled_back=True,
                 diff=diff,
                 system=rolled_back_system,
-                error=str(exc),
+                error=_describe_exception(exc),
+                exception=exc,
             )
 
     def _upgrade_in_place(
@@ -175,7 +228,9 @@ class UpgradeEngine:
         they themselves are unchanged.
         """
         old_spec = system.spec
-        changed = set(diff.upgraded) | set(diff.reconfigured)
+        changed = (
+            set(diff.upgraded) | set(diff.reconfigured) | set(diff.moved)
+        )
         to_remove = set(diff.removed) | changed
 
         # Downstream closure over the OLD spec: everything that
@@ -216,12 +271,37 @@ class UpgradeEngine:
         self,
         system: DeployedSystem,
         old_spec: InstallSpec,
+        new_spec: InstallSpec,
         backups: dict[str, dict],
     ) -> DeployedSystem:
-        """Restore machine filesystems and redeploy the old system."""
+        """Restore machine filesystems and redeploy the old system.
+
+        The failed new-spec deploy may have registered machines the old
+        system never had; restoring only the backed-up hosts would
+        leave those as ghost hosts on the network, so every machine the
+        new spec introduced (no backup recorded for its hostname) is
+        deregistered first.  Hosts the delta path retired before
+        failing are re-registered so their snapshot restore lands on a
+        network-visible machine again.
+        """
         infrastructure = self._deploy.infrastructure
+        network = infrastructure.network
+        for instance in new_spec.machines():
+            hostname = instance.config.get("hostname")
+            if not hostname:
+                host_record = instance.outputs.get("host")
+                if isinstance(host_record, dict):
+                    hostname = host_record.get("hostname")
+            if (
+                hostname
+                and hostname not in backups
+                and network.has_machine(hostname)
+            ):
+                infrastructure.remove_machine(hostname)
         for machine in set(system.machines.values()):
             backup = backups[machine.hostname]
+            if not network.has_machine(machine.hostname):
+                network.register_machine(machine)
             machine.restore(backup["machine"])
             infrastructure.package_manager(machine).restore(backup["packages"])
         try:

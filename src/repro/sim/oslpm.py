@@ -26,6 +26,13 @@ class InstalledPackage:
     version: str
     install_root: str
     files: list[str] = field(default_factory=list)
+    #: Which installers (instance ids) currently depend on this package.
+    #: Two replicas on one machine share one package record;
+    #: uninstalling one replica must not delete the files the other
+    #: still runs from.  Membership (not a count) keeps repeat installs
+    #: by the same owner idempotent, which restore-then-redeploy relies
+    #: on.
+    owners: set[str] = field(default_factory=set)
 
 
 class OsPackageManager:
@@ -53,11 +60,15 @@ class OsPackageManager:
         *,
         prerequisites: Sequence[str] = (),
         install_root: str = "/opt",
+        owner: Optional[str] = None,
     ) -> InstalledPackage:
         """Download and unpack a package onto the machine.
 
         ``prerequisites`` are package names that must already be installed
-        on this machine -- the OSLPM-level dependency check.
+        on this machine -- the OSLPM-level dependency check.  ``owner``
+        names the installer (drivers pass their instance id): the record
+        tracks every distinct owner, and only losing the last one removes
+        the files.  Repeat installs by the same owner are no-ops.
         """
         for prerequisite in prerequisites:
             if not self.is_installed(prerequisite):
@@ -73,9 +84,13 @@ class OsPackageManager:
                 f"oslpm:{self._machine.hostname}:install:{name}",
                 self._machine.clock,
             )
+        token = owner if owner is not None else name
         existing = self._installed.get(name)
         if existing is not None:
             if existing.version == version:
+                # Shared install: the files are already on disk, so the
+                # re-install only registers another owner of the record.
+                existing.owners.add(token)
                 return existing
             raise SimulationError(
                 f"{self._machine.hostname}: {name} {existing.version} is "
@@ -83,6 +98,7 @@ class OsPackageManager:
             )
         artifact = self._downloads.fetch(name, version)
         record = self._unpack(artifact, install_root)
+        record.owners.add(token)
         self._installed[name] = record
         return record
 
@@ -111,12 +127,20 @@ class OsPackageManager:
         record.files.append(manifest)
         return record
 
-    def remove(self, name: str) -> None:
-        record = self._installed.pop(name, None)
+    def remove(self, name: str, *, owner: Optional[str] = None) -> None:
+        """Withdraw ``owner``'s claim on ``name``; delete the files when
+        the last owner is gone.  Without ``owner`` the package is
+        removed outright (the operator's ``dpkg -r``)."""
+        record = self._installed.get(name)
         if record is None:
             raise SimulationError(
                 f"{self._machine.hostname}: package {name} is not installed"
             )
+        if owner is not None:
+            record.owners.discard(owner)
+            if record.owners:
+                return  # other installers still depend on the files
+        del self._installed[name]
         base = f"{record.install_root}/{record.name}-{record.version}"
         if self._machine.fs.exists(base):
             self._machine.fs.remove(base)
@@ -133,6 +157,7 @@ class OsPackageManager:
                 record.version,
                 record.install_root,
                 list(record.files),
+                set(record.owners),
             )
             for name, record in self._installed.items()
         }
@@ -144,6 +169,7 @@ class OsPackageManager:
                 record.version,
                 record.install_root,
                 list(record.files),
+                set(record.owners),
             )
             for name, record in snapshot.items()
         }

@@ -118,6 +118,7 @@ def _machine_payload(
                 "version": record.version,
                 "install_root": record.install_root,
                 "files": list(record.files),
+                "owners": sorted(record.owners),
             }
             for record in manager.installed()
         ],
@@ -229,6 +230,7 @@ def _restore_machine(
                 record["version"],
                 record["install_root"],
                 list(record["files"]),
+                set(record.get("owners", [record["name"]])),
             )
             for record in entry["packages"]
         }
