@@ -570,6 +570,63 @@ def delta_report() -> int:
     return 0
 
 
+BUS_RESULTS = pathlib.Path(__file__).parent / "BENCH_bus.json"
+
+
+def _bus_partition_sweep(data: dict) -> None:
+    sweep = data.get("partition_sweep")
+    if not sweep:
+        print("  (no partition_sweep section -- run test_bench_bus.py)")
+        return
+    print(f"  {sweep['instances']} instances on {sweep['machines']} "
+          f"machines; baseline makespan "
+          f"{sweep['baseline_makespan_seconds']:.0f}s")
+    print(f"  {'cut s':>7} {'recover s':>10} {'msgs sent':>10} "
+          f"{'lost':>7} {'retrans':>8} {'dup acks':>9}")
+    for row_ in sweep.get("sweep", []):
+        print(f"  {row_['partition_seconds']:>7.0f} "
+              f"{row_['time_to_recover_seconds']:>10.1f} "
+              f"{row_['messages_sent']:>10} "
+              f"{row_['partition_losses']:>7} "
+              f"{row_['retransmits']:>8} "
+              f"{row_['redundant_acks']:>9}")
+
+
+def _bus_failover(data: dict) -> None:
+    failover = data.get("failover")
+    if not failover:
+        print("  (no failover section -- run test_bench_bus.py)")
+        return
+    row("masters", "1 + standby", "master -> master-2 at "
+        f"{failover['failover_at_seconds']:.0f}s")
+    row("makespan overhead", "~0s",
+        f"{failover['makespan_overhead_seconds']:.1f}s")
+    row("work re-executed", "0",
+        f"0 (executions == {failover['machines']} machines)")
+    row("message overhead", "bounded",
+        f"{failover['messages_sent_failover']}"
+        f" vs {failover['messages_sent_unfaulted']} unfaulted")
+
+
+def bus_report() -> int:
+    """Render BENCH_bus.json as one table (the --bus mode)."""
+    if not BUS_RESULTS.exists():
+        print(f"no results at {BUS_RESULTS}; run the bus benchmarks "
+              f"first:\n  PYTHONPATH=src python -m pytest "
+              f"benchmarks/test_bench_bus.py -o addopts=")
+        return 1
+    data = json.loads(BUS_RESULTS.read_text(encoding="utf-8"))
+    print("bus control-plane benchmarks "
+          f"({data.get('benchmark', '?')})")
+    print("=" * 68)
+    header("B1", "partition sweep: recovery tracks the cut")
+    _bus_partition_sweep(data)
+    header("B2", "master failover: adopt, don't redo")
+    _bus_failover(data)
+    print()
+    return 0
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -582,11 +639,18 @@ def main() -> None:
         help="render benchmarks/BENCH_delta.json instead of rerunning "
              "the paper evaluation",
     )
+    parser.add_argument(
+        "--bus", action="store_true",
+        help="render benchmarks/BENCH_bus.json instead of rerunning "
+             "the paper evaluation",
+    )
     args = parser.parse_args()
     if args.fleet:
         sys.exit(fleet_report())
     if args.delta:
         sys.exit(delta_report())
+    if args.bus:
+        sys.exit(bus_report())
     print("Engage (PLDI 2012) -- evaluation reproduction report")
     print("=" * 68)
     e1_e2_e3()

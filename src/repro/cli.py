@@ -708,6 +708,109 @@ def _write_failure(failure, out: TextIO) -> None:
         )
 
 
+def _bus_chaos_from_args(args):
+    """A BusChaos schedule (or None) from the ``--partition-at`` /
+    ``--failover-at`` / ``--crash-slave`` family of flags."""
+    from repro.runtime import BusChaos
+
+    if (
+        args.partition_at is None
+        and args.failover_at is None
+        and not args.crash_slave
+    ):
+        return None
+    return BusChaos(
+        partition_at=args.partition_at,
+        partition_for=args.partition_for,
+        crash_machine=args.crash_slave,
+        crash_after_actions=args.crash_after,
+        crash_down_for=args.rejoin_after,
+        failover_at=args.failover_at,
+    )
+
+
+def _deploy_over_bus(
+    args, registry, infrastructure, drivers, spec, policy, tracer, out
+) -> int:
+    """Run the deployment through the message-bus control plane."""
+    from repro.core.errors import DeploymentError
+    from repro.runtime import BusCoordinator
+    from repro.sim.faults import LinkFaultPlan
+
+    faults = None
+    if args.bus_drop or args.bus_dup or args.bus_jitter:
+        faults = LinkFaultPlan(
+            args.bus_seed,
+            drop=args.bus_drop,
+            duplicate=args.bus_dup,
+            jitter=args.bus_jitter,
+        )
+    coordinator = BusCoordinator(
+        registry, infrastructure, drivers, link_faults=faults
+    )
+    try:
+        deployment = coordinator.deploy(
+            spec,
+            policy=policy,
+            jobs=args.jobs,
+            jobs_per_host=args.jobs_per_host,
+            chaos=_bus_chaos_from_args(args),
+        )
+    except DeploymentError as error:
+        out.write(f"bus deployment FAILED: {error}\n")
+        _finish_trace(args, tracer, out)
+        return 1
+    report = deployment.report
+    out.write("deployment state:\n")
+    states = deployment.states()
+    for instance in spec.topological_order():
+        out.write(
+            f"  {instance.id:<16} {str(instance.key):<28} "
+            f"{states[instance.id]}\n"
+        )
+    stats = report.bus_stats
+    out.write(
+        f"bus: {stats['total_sent']} messages sent, "
+        f"{stats['total_delivered']} delivered, "
+        f"{stats['dropped']} dropped, "
+        f"{stats['partition_losses']} lost to partitions\n"
+    )
+    out.write(
+        f"control plane: {report.retransmits} retransmit(s), "
+        f"{report.redundant_acks} redundant ack(s), "
+        f"{report.crashes} crash(es), {len(report.rejoins)} rejoin(s), "
+        f"masters: {', '.join(report.masters)}\n"
+    )
+    if report.partition is not None:
+        out.write(
+            f"partition: at {report.partition['at']:.1f}s for "
+            f"{report.partition['for']:.1f}s "
+            f"({', '.join(report.partition['slaves'])})\n"
+        )
+    if report.failover is not None:
+        out.write(
+            f"failover: {report.failover['master']} adopted at "
+            f"{report.failover['at']:.1f}s\n"
+        )
+    out.write(
+        f"waves: {len(report.waves)}; makespan "
+        f"{report.parallel_makespan_seconds:.1f}s vs sequential "
+        f"{report.sequential_seconds:.1f}s\n"
+    )
+    out.write(
+        f"simulated time: {infrastructure.clock.now / 60:.1f} minutes\n"
+    )
+    if args.save:
+        engine = DeploymentEngine(registry, infrastructure, drivers)
+        system = deployment.merged_system(engine)
+        _save_bundle(
+            args.save, registry, infrastructure, system, system.journal
+        )
+        out.write(f"bundle saved to {args.save}\n")
+    _finish_trace(args, tracer, out)
+    return 0 if deployment.is_deployed() else 1
+
+
 def cmd_deploy(args, out: TextIO) -> int:
     from repro.core.errors import DeploymentFailure
 
@@ -833,6 +936,11 @@ def cmd_deploy(args, out: TextIO) -> int:
         f"{len(partial)} in the partial specification\n"
     )
     _install_chaos(args, infrastructure, out)
+    if args.bus:
+        return _deploy_over_bus(
+            args, registry, infrastructure, drivers, result.spec,
+            policy, tracer, out,
+        )
     deploy = DeploymentEngine(registry, infrastructure, drivers)
     try:
         system = deploy.deploy(
@@ -1051,6 +1159,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs-per-host", type=int, default=None, metavar="N",
         help="with --jobs: at most N concurrent instances per target "
         "machine",
+    )
+    deploy.add_argument(
+        "--bus", action="store_true",
+        help="coordinate the deployment over the simulated message bus "
+        "(master/slave control plane; enables the fault flags below)",
+    )
+    deploy.add_argument(
+        "--bus-seed", type=int, default=0, metavar="SEED",
+        help="seed for --bus-drop/--bus-dup/--bus-jitter link faults",
+    )
+    deploy.add_argument(
+        "--bus-drop", type=float, default=0.0, metavar="RATE",
+        help="with --bus: drop this fraction of messages (0..1)",
+    )
+    deploy.add_argument(
+        "--bus-dup", type=float, default=0.0, metavar="RATE",
+        help="with --bus: duplicate this fraction of messages (0..1)",
+    )
+    deploy.add_argument(
+        "--bus-jitter", type=float, default=0.0, metavar="SECONDS",
+        help="with --bus: add up to this much random delivery delay "
+        "(reorders messages)",
+    )
+    deploy.add_argument(
+        "--partition-at", type=float, default=None, metavar="SECONDS",
+        help="with --bus: cut the network between master and slaves "
+        "this long after the deployment starts",
+    )
+    deploy.add_argument(
+        "--partition-for", type=float, default=30.0, metavar="SECONDS",
+        help="with --partition-at: heal the partition after this long "
+        "(default 30)",
+    )
+    deploy.add_argument(
+        "--failover-at", type=float, default=None, metavar="SECONDS",
+        help="with --bus: kill the master at this time; a standby "
+        "adopts the control log and finishes the deployment",
+    )
+    deploy.add_argument(
+        "--crash-slave", metavar="MACHINE",
+        help="with --bus: crash this slave machine mid-deploy; it "
+        "rejoins and resumes from its write-ahead journal",
+    )
+    deploy.add_argument(
+        "--crash-after", type=int, default=3, metavar="N",
+        help="with --crash-slave: crash after N driver actions "
+        "(default 3)",
+    )
+    deploy.add_argument(
+        "--rejoin-after", type=float, default=25.0, metavar="SECONDS",
+        help="with --crash-slave: rejoin this long after the crash "
+        "(default 25)",
     )
     deploy.add_argument(
         "--chaos-rate", type=float, default=0.0, metavar="RATE",

@@ -25,14 +25,20 @@ waves.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Optional
 
-from repro.core.errors import DeploymentError
+from repro.core.errors import DeploymentError, DeploymentFailure
 from repro.core.instances import InstallSpec, ResourceInstance
 from repro.core.registry import ResourceTypeRegistry
 from repro.drivers.base import DriverRegistry
+from repro.runtime import bus as busmod
+from repro.runtime.bus import MessageBus
 from repro.runtime.deploy import DeployedSystem, DeploymentEngine
+from repro.runtime.journal import DeploymentJournal
+from repro.runtime.retry import RetryPolicy
 from repro.sim.infrastructure import Infrastructure
 
 
@@ -96,6 +102,56 @@ def machine_waves(spec: InstallSpec) -> list[list[str]]:
 AGENT_PACKAGE = ("engage-agent", "1.0")
 
 
+def install_agent(
+    infrastructure: Infrastructure,
+    engine: DeploymentEngine,
+    sub_spec: InstallSpec,
+    installed: Optional[list[str]] = None,
+) -> None:
+    """Install the Engage slave agent on ``sub_spec``'s target hosts.
+
+    Idempotent: the package is published to the index once and installed
+    only where missing.  Shared by the direct coordinator and the bus
+    slave agents, so both control planes leave identical worlds.
+    """
+    name, version = AGENT_PACKAGE
+    if not infrastructure.package_index.has(name, version):
+        infrastructure.package_index.publish_simple(name, version, 2_000_000)
+    for machine in engine._resolve_machines(sub_spec).values():
+        manager = infrastructure.package_manager(machine)
+        if not manager.is_installed(name):
+            manager.install(name, version)
+            if installed is not None:
+                installed.append(machine.hostname)
+
+
+class MultiHostDeploymentFailure(DeploymentFailure):
+    """A coordinated deployment stopped with one slave failed.
+
+    On top of :class:`~repro.core.errors.DeploymentFailure` (whose
+    ``journal`` / ``system`` / ``report`` describe the *failing* slave)
+    this carries the fleet view the wave loop would otherwise discard:
+    ``deployment`` holds every slave that ran -- including the failed
+    one's partial system -- so no sibling's in-flight journal entries
+    are orphaned; ``failed_machine`` names the culprit and
+    ``unstarted`` the machines whose waves never began.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        deployment: "MultiHostDeployment",
+        failed_machine: str,
+        unstarted: list[str],
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(message, **kwargs)
+        self.deployment = deployment
+        self.failed_machine = failed_machine
+        self.unstarted = list(unstarted)
+
+
 @dataclass
 class MultiHostReport:
     """Costs of a coordinated deployment."""
@@ -130,6 +186,21 @@ class MultiHostDeployment:
 
     def is_deployed(self) -> bool:
         return all(slave.is_deployed() for slave in self.slaves.values())
+
+    def journals(self) -> dict[str, DeploymentJournal]:
+        """Per-machine write-ahead journals (slaves that have one)."""
+        return {
+            machine_id: slave.journal
+            for machine_id, slave in self.slaves.items()
+            if slave.journal is not None
+        }
+
+    def merged_journal(self) -> DeploymentJournal:
+        """One fleet journal folding every slave's journal together."""
+        journals = self.journals().values()
+        targets = {journal.target for journal in journals}
+        target = targets.pop() if len(targets) == 1 else "active"
+        return DeploymentJournal.merged(self.spec, journals, target=target)
 
 
 class MasterCoordinator:
@@ -170,13 +241,45 @@ class MasterCoordinator:
                 # simulated timelines overlap even though the substrate
                 # executes them one after another.
                 span = clock.overlapping(wave_started)
-                with span:
-                    self._install_agent(engine, per_node[machine_id], report)
-                    slaves[machine_id] = engine.deploy(
-                        per_node[machine_id],
-                        jobs=jobs,
-                        jobs_per_host=jobs_per_host,
-                    )
+                try:
+                    with span:
+                        self._install_agent(
+                            engine, per_node[machine_id], report
+                        )
+                        slaves[machine_id] = engine.deploy(
+                            per_node[machine_id],
+                            jobs=jobs,
+                            jobs_per_host=jobs_per_host,
+                        )
+                except DeploymentFailure as failure:
+                    # Keep every sibling slave (and this slave's partial
+                    # system) on the failure: their in-flight journal
+                    # entries would otherwise be orphaned with the
+                    # discarded ``slaves`` dict.
+                    if failure.system is not None:
+                        slaves[machine_id] = failure.system
+                    report.per_machine_seconds[machine_id] = span.elapsed
+                    partial = MultiHostDeployment(spec, slaves, report)
+                    started = set(slaves)
+                    unstarted = [
+                        m for w in waves for m in w if m not in started
+                    ]
+                    completed: set[str] = set()
+                    for journal_ in partial.journals().values():
+                        completed |= journal_.completed
+                    raise MultiHostDeploymentFailure(
+                        f"slave {machine_id!r} failed in wave {index}: "
+                        f"{failure}",
+                        deployment=partial,
+                        failed_machine=machine_id,
+                        unstarted=unstarted,
+                        journal=failure.journal,
+                        completed=completed,
+                        failed=failure.failed,
+                        skipped=failure.skipped,
+                        report=failure.report,
+                        system=failure.system,
+                    ) from failure
                 report.per_machine_seconds[machine_id] = span.elapsed
                 wave_finishes.append(span.end)
                 if tracer is not None:
@@ -207,16 +310,9 @@ class MasterCoordinator:
     ) -> None:
         """Install the Engage slave agent on the target host before the
         slave deployment runs (idempotent)."""
-        name, version = AGENT_PACKAGE
-        if not self.infrastructure.package_index.has(name, version):
-            self.infrastructure.package_index.publish_simple(
-                name, version, 2_000_000
-            )
-        for machine in engine._resolve_machines(sub_spec).values():
-            manager = self.infrastructure.package_manager(machine)
-            if not manager.is_installed(name):
-                manager.install(name, version)
-                report.agents_installed.append(machine.hostname)
+        install_agent(
+            self.infrastructure, engine, sub_spec, report.agents_installed
+        )
 
     def shutdown(self, deployment: MultiHostDeployment) -> None:
         """Stop slaves in reverse machine order."""
@@ -227,3 +323,955 @@ class MasterCoordinator:
                 )
                 slave = deployment.slaves[machine_id]
                 engine.shutdown(slave)
+
+
+# ---------------------------------------------------------------------------
+# The message-bus control plane.
+#
+# The direct coordinator above calls each slave engine in-process; the
+# classes below replace those calls with traffic over a simulated
+# :class:`~repro.runtime.bus.MessageBus`: the master enqueues one
+# idempotent *work item* per (wave, machine) and retransmits until
+# acked; slave agents consume work, execute it through the ordinary
+# deployment engine (DAG scheduler, retries, write-ahead journal), and
+# ack with their journal frontier.  Because delivery is at-least-once
+# and chaotic (drops, duplicates, reorders, partitions), everything is
+# keyed: a work item's dedup key makes re-execution a cache hit, and a
+# re-ack replays the cached frontier instead of redoing the work --
+# at-least-once delivery, exactly-once *effect*.
+# ---------------------------------------------------------------------------
+
+
+def work_key(wave: int, machine_id: str) -> str:
+    """The idempotency key of one work item (a machine deploys in
+    exactly one wave, so the key is unique per deployment)."""
+    return f"w{wave}:{machine_id}"
+
+
+class SlaveCrashed(Exception):
+    """The slave agent process died mid-deployment.
+
+    Deliberately *not* an :class:`~repro.core.errors.EngageError`: the
+    schedulers convert those into :class:`DeploymentFailure` at a
+    consistent frontier, but a crash is not a failed action -- it must
+    punch straight through the scheduler to the agent's crash handler,
+    leaving the journal exactly as the last completed action wrote it.
+    """
+
+    def __init__(self, machine_id: str, at: float) -> None:
+        super().__init__(f"slave agent on {machine_id!r} crashed at {at:.3f}")
+        self.machine_id = machine_id
+        self.at = at
+
+
+@dataclass
+class _CrashFuse:
+    """Kills the slave agent after N driver actions (before the N+1th)."""
+
+    after_actions: int
+    armed: bool = True
+    count: int = 0
+
+    def blown(self) -> bool:
+        if not self.armed:
+            return False
+        self.count += 1
+        return self.count > self.after_actions
+
+
+class _SlaveEngine(DeploymentEngine):
+    """A deployment engine wired to a crash fuse.
+
+    The fuse is checked *before* each driver action, modelling a kill
+    between actions: the world and the journal stay mutually consistent
+    (an action either fully happened and was journalled, or neither).
+    """
+
+    def __init__(
+        self,
+        registry: ResourceTypeRegistry,
+        infrastructure: Infrastructure,
+        driver_registry: Optional[DriverRegistry],
+        fuse: Optional[_CrashFuse],
+        machine_id: str,
+    ) -> None:
+        super().__init__(registry, infrastructure, driver_registry)
+        self.fuse = fuse
+        self.machine_id = machine_id
+
+    def _perform_with_retry(self, system, instance_id, transition, report,
+                            *, policy, journal):
+        if self.fuse is not None and self.fuse.blown():
+            raise SlaveCrashed(self.machine_id, self.infrastructure.clock.now)
+        super()._perform_with_retry(
+            system, instance_id, transition, report,
+            policy=policy, journal=journal,
+        )
+
+
+class SlaveAgent:
+    """One Engage slave: consumes work from the bus, acks frontiers.
+
+    The split between durable and volatile state is the crash model:
+    ``journals`` is the write-ahead journal on the slave's disk and
+    survives a crash; ``systems`` (live driver objects) and the inbox
+    are process memory and are lost.  ``acks`` caches the final ack per
+    work key so a duplicate or retransmitted work item is answered from
+    the cache -- the ``redundant_acks`` counter is the proof that
+    at-least-once delivery never re-executed completed work.
+    """
+
+    def __init__(
+        self,
+        machine_id: str,
+        registry: ResourceTypeRegistry,
+        infrastructure: Infrastructure,
+        driver_registry: Optional[DriverRegistry],
+        bus: MessageBus,
+        *,
+        master: str = "master",
+        policy: Optional[RetryPolicy] = None,
+        jobs: Optional[int] = None,
+        jobs_per_host: Optional[int] = None,
+        heartbeat_every: float = 5.0,
+        crash_after_actions: Optional[int] = None,
+        crash_down_for: float = 25.0,
+    ) -> None:
+        self.machine_id = machine_id
+        self.name = machine_id
+        self.registry = registry
+        self.infrastructure = infrastructure
+        self.driver_registry = driver_registry
+        self.bus = bus
+        self.endpoint = bus.register(self.name)
+        self.master = master
+        self.policy = policy
+        self.jobs = jobs
+        self.jobs_per_host = jobs_per_host
+        self.heartbeat_every = heartbeat_every
+        self.fuse = (
+            _CrashFuse(crash_after_actions)
+            if crash_after_actions is not None else None
+        )
+        self.down_for = crash_down_for
+        # Durable (survives a crash): the write-ahead journals.
+        self.journals: dict[str, DeploymentJournal] = {}
+        # Volatile (lost at crash): live systems and the ack cache is
+        # rebuilt from the journal on re-execution.
+        self.systems: dict[str, DeployedSystem] = {}
+        self.acks: dict[str, dict] = {}
+        self._ack_attempts: dict[str, int] = {}
+        self.agents_installed: list[str] = []
+        self.crashed = False
+        self.rejoin_at: Optional[float] = None
+        self.busy_until = 0.0
+        self.next_heartbeat = 0.0
+        self.total_seconds = 0.0
+        self.work_executions = 0
+        self.work_resumes = 0
+        self.redundant_acks = 0
+        self.crashes = 0
+        self.rejoins = 0
+
+    # -- Control loop hooks ----------------------------------------------
+
+    def step(self, now: float) -> None:
+        if self.crashed:
+            if self.rejoin_at is not None and now >= self.rejoin_at:
+                self._rejoin(now)
+            return
+        for envelope in self.endpoint.drain():
+            if envelope.kind == busmod.WORK:
+                self._handle_work(envelope, now)
+            elif envelope.kind == busmod.ADOPT:
+                self.master = envelope.sender
+        if not self.crashed and now >= self.next_heartbeat:
+            self.bus.send(
+                self.name, self.master, busmod.HEARTBEAT,
+                {"machine": self.machine_id},
+                at=max(now, self.busy_until),
+            )
+            self.next_heartbeat = max(now, self.busy_until) \
+                + self.heartbeat_every
+
+    def next_wake(self, now: float) -> Optional[float]:
+        if self.crashed:
+            return self.rejoin_at
+        return self.next_heartbeat
+
+    # -- Work execution ---------------------------------------------------
+
+    def _handle_work(self, envelope, now: float) -> None:
+        key = envelope.dedup_key
+        self.master = envelope.sender
+        if key in self.acks:
+            # Duplicate or retransmitted work for something already
+            # done: replay the cached frontier, never the work.
+            self.redundant_acks += 1
+            self._send_ack(self.acks[key], now)
+            return
+        sub_spec: InstallSpec = envelope.payload["spec"]
+        wave: int = envelope.payload["wave"]
+        journal = self.journals.get(key)
+        if journal is None:
+            journal = DeploymentJournal(sub_spec)
+            self.journals[key] = journal
+        resume = bool(journal.entries or journal.completed)
+        engine = _SlaveEngine(
+            self.registry, self.infrastructure, self.driver_registry,
+            self.fuse, self.machine_id,
+        )
+        span = self.infrastructure.clock.overlapping(now)
+        try:
+            with span:
+                install_agent(
+                    self.infrastructure, engine, sub_spec,
+                    self.agents_installed,
+                )
+                if resume:
+                    self.work_resumes += 1
+                    system = engine.resume(
+                        journal, policy=self.policy,
+                        jobs=self.jobs, jobs_per_host=self.jobs_per_host,
+                    )
+                else:
+                    self.work_executions += 1
+                    system = engine.deploy(
+                        sub_spec, policy=self.policy, journal=journal,
+                        jobs=self.jobs, jobs_per_host=self.jobs_per_host,
+                    )
+        except SlaveCrashed:
+            # A parallel pass may have journalled a sibling action whose
+            # completion lands *after* the instant the fuse blew (the
+            # DAG scheduler drives each in-flight action to its simulated
+            # end).  The write-ahead journal is the durable truth, so the
+            # crash is ordered after its last record -- otherwise the
+            # rejoined resume could timestamp new entries before ones
+            # that survived, inverting per-instance chains.
+            end = max(
+                span.end,
+                max((e.timestamp for e in journal.entries), default=0.0),
+            )
+            self.total_seconds += end - now
+            self._heartbeat_over(now, end, key)
+            self._crash(end)
+            return
+        except DeploymentFailure as failure:
+            self.total_seconds += span.elapsed
+            if failure.system is not None:
+                self.systems[key] = failure.system
+            self.bus.send(
+                self.name, self.master, busmod.NACK,
+                {"key": key, "machine": self.machine_id,
+                 "error": str(failure)},
+                at=span.end,
+            )
+            return
+        self.total_seconds += span.elapsed
+        self.busy_until = max(self.busy_until, span.end)
+        self.systems[key] = system
+        ack = {
+            "key": key,
+            "machine": self.machine_id,
+            "wave": wave,
+            "completed": sorted(journal.completed),
+            "entries": [entry.to_payload() for entry in journal.entries],
+            "seconds": span.elapsed,
+            "finished_at": span.end,
+        }
+        self.acks[key] = ack
+        self._heartbeat_over(now, span.end, key)
+        self._send_ack(ack, span.end)
+
+    def _send_ack(self, ack: dict, at: float) -> None:
+        # Each (re)send is a distinct attempt so the link-fault plan
+        # draws independently -- a seed that drops the first ack must
+        # not deterministically drop every re-ack.
+        attempt = self._ack_attempts.get(ack["key"], 0) + 1
+        self._ack_attempts[ack["key"]] = attempt
+        self.bus.send(
+            self.name, self.master, busmod.ACK, ack,
+            dedup_key=f"ack:{ack['key']}", attempt=attempt,
+            at=max(at, self.busy_until),
+        )
+
+    def _heartbeat_over(self, start: float, end: float, key: str) -> None:
+        """Retroactive progress heartbeats covering a long work span.
+
+        Each names the in-flight work key, so the master pushes back
+        that item's retransmit timer (and does not suspect a slave that
+        is merely busy) instead of re-sending work the slave is already
+        executing."""
+        t = start + self.heartbeat_every
+        while t < end:
+            self.bus.send(
+                self.name, self.master, busmod.HEARTBEAT,
+                {"machine": self.machine_id, "working": [key]}, at=t,
+            )
+            t += self.heartbeat_every
+        self.next_heartbeat = max(self.next_heartbeat, end)
+
+    # -- Crash and rejoin --------------------------------------------------
+
+    def _crash(self, at: float) -> None:
+        self.crashed = True
+        self.crashes += 1
+        if self.fuse is not None:
+            self.fuse.armed = False
+        # In-flight completion events of the interrupted DAG pass would
+        # leak into the next pass's event loop.
+        self.infrastructure.clock.cancel_events()
+        self.bus.close(self.name)
+        # Process memory is gone; the write-ahead journal is not.
+        self.systems.clear()
+        self.acks.clear()
+        self.rejoin_at = at + self.down_for
+
+    def _rejoin(self, now: float) -> None:
+        self.crashed = False
+        self.rejoins += 1
+        self.bus.open(self.name)
+        self.bus.send(
+            self.name, self.master, busmod.HELLO,
+            {"machine": self.machine_id},
+        )
+        self.next_heartbeat = now + self.heartbeat_every
+
+
+@dataclass
+class WorkStatus:
+    """The master's durable record of one work item."""
+
+    key: str
+    machine_id: str
+    wave: int
+    sent_at: Optional[float] = None
+    attempts: int = 0
+    acked: bool = False
+    ack: Optional[dict] = None
+    error: Optional[str] = None
+
+
+class ControlLog:
+    """The master's write-ahead control log: every work item and its
+    ack state, plus the wave cursor.  Durable -- a standby master
+    adopts a :meth:`clone` at failover and carries on from the acked
+    frontier instead of restarting the deployment."""
+
+    def __init__(self) -> None:
+        self.statuses: dict[str, WorkStatus] = {}
+        self.wave_index = 0
+
+    def clone(self) -> "ControlLog":
+        log = ControlLog()
+        log.wave_index = self.wave_index
+        for key, status in self.statuses.items():
+            log.statuses[key] = WorkStatus(
+                key=status.key,
+                machine_id=status.machine_id,
+                wave=status.wave,
+                # Unacked work is resent immediately by the adopter:
+                # the old master's in-flight transmissions (and any
+                # acks addressed to it) are lost with it.
+                sent_at=status.sent_at if status.acked else None,
+                attempts=status.attempts,
+                acked=status.acked,
+                ack=dict(status.ack) if status.ack is not None else None,
+                error=status.error,
+            )
+        return log
+
+
+class MasterNode:
+    """The deployment master: dispatches waves of work items over the
+    bus, retransmits unacked work, and watches slave heartbeats."""
+
+    def __init__(
+        self,
+        name: str,
+        bus: MessageBus,
+        waves: list[list[str]],
+        per_node: dict[str, InstallSpec],
+        *,
+        log: Optional[ControlLog] = None,
+        retransmit_after: float = 10.0,
+        heartbeat_timeout: float = 15.0,
+    ) -> None:
+        self.name = name
+        self.bus = bus
+        self.waves = waves
+        self.per_node = per_node
+        self.endpoint = bus.register(name)
+        self.retransmit_after = retransmit_after
+        self.heartbeat_timeout = heartbeat_timeout
+        self.started_at = bus.clock.now
+        if log is None:
+            log = ControlLog()
+            for wave_index, wave in enumerate(waves):
+                for machine_id in wave:
+                    key = work_key(wave_index, machine_id)
+                    log.statuses[key] = WorkStatus(key, machine_id, wave_index)
+        self.log = log
+        self.last_seen: dict[str, float] = {}
+        self.suspected: set[str] = set()
+        self.suspects: list[dict] = []
+        self.rejoins: list[dict] = []
+        self.failures: dict[str, str] = {}
+        self.duplicate_acks = 0
+
+    def adopt(self, now: float) -> None:
+        """Announce this (standby) master to every slave, so acks and
+        heartbeats re-target it."""
+        for machine_id in sorted(self.per_node):
+            self.bus.send(
+                self.name, machine_id, busmod.ADOPT, {"master": self.name}
+            )
+
+    # -- Control loop hooks ----------------------------------------------
+
+    def step(self, now: float) -> None:
+        for envelope in self.endpoint.drain():
+            self.last_seen[envelope.sender] = max(
+                self.last_seen.get(envelope.sender, 0.0), envelope.deliver_at
+            )
+            if envelope.sender in self.suspected:
+                self.suspected.discard(envelope.sender)
+            if envelope.kind == busmod.ACK:
+                self._handle_ack(envelope.payload)
+            elif envelope.kind == busmod.NACK:
+                self.failures[envelope.payload["key"]] = \
+                    envelope.payload["error"]
+            elif envelope.kind == busmod.HELLO:
+                self._handle_hello(envelope.payload, now)
+            elif envelope.kind == busmod.HEARTBEAT:
+                # A progress heartbeat names in-flight work: push back
+                # its retransmit timer -- the slave has the item and is
+                # executing it, re-sending would only burn messages.
+                for key in envelope.payload.get("working", ()):
+                    status = self.log.statuses.get(key)
+                    if status is not None and not status.acked \
+                            and status.sent_at is not None:
+                        status.sent_at = max(
+                            status.sent_at, envelope.deliver_at
+                        )
+        self._check_suspects(now)
+        self._advance_waves()
+        self._dispatch(now)
+
+    def _handle_ack(self, ack: dict) -> None:
+        status = self.log.statuses.get(ack["key"])
+        if status is None:
+            return
+        if status.acked:
+            self.duplicate_acks += 1
+            return
+        status.acked = True
+        status.ack = ack
+        self.failures.pop(ack["key"], None)
+
+    def _handle_hello(self, payload: dict, now: float) -> None:
+        machine_id = payload["machine"]
+        self.rejoins.append({"at": now, "machine": machine_id})
+        # A rejoining slave lost its process memory: resend its unacked
+        # work immediately instead of waiting out the retransmit timer.
+        for status in self.log.statuses.values():
+            if status.machine_id == machine_id and not status.acked:
+                status.sent_at = None
+
+    def _check_suspects(self, now: float) -> None:
+        for machine_id in self._outstanding_slaves():
+            if machine_id in self.suspected:
+                continue
+            seen = self.last_seen.get(machine_id, self.started_at)
+            if now - seen > self.heartbeat_timeout:
+                self.suspected.add(machine_id)
+                self.suspects.append(
+                    {"at": now, "machine": machine_id, "last_seen": seen}
+                )
+
+    def _advance_waves(self) -> None:
+        while self.log.wave_index < len(self.waves) and all(
+            self.log.statuses[
+                work_key(self.log.wave_index, machine_id)
+            ].acked
+            for machine_id in self.waves[self.log.wave_index]
+        ):
+            self.log.wave_index += 1
+
+    def _dispatch(self, now: float) -> None:
+        if self.done():
+            return
+        for machine_id in self.waves[self.log.wave_index]:
+            status = self.log.statuses[
+                work_key(self.log.wave_index, machine_id)
+            ]
+            if status.acked or status.key in self.failures:
+                continue
+            if (
+                status.sent_at is not None
+                and now - status.sent_at < self.retransmit_after
+            ):
+                continue
+            status.attempts += 1
+            status.sent_at = now
+            self.bus.send(
+                self.name, machine_id, busmod.WORK,
+                {"wave": status.wave, "spec": self.per_node[machine_id]},
+                dedup_key=status.key, attempt=status.attempts,
+            )
+
+    def done(self) -> bool:
+        return self.log.wave_index >= len(self.waves)
+
+    def next_wake(self, now: float) -> Optional[float]:
+        if self.done():
+            return None
+        candidates: list[float] = []
+        for machine_id in self.waves[self.log.wave_index]:
+            status = self.log.statuses[
+                work_key(self.log.wave_index, machine_id)
+            ]
+            if status.acked:
+                continue
+            if status.sent_at is None:
+                candidates.append(now)
+            else:
+                candidates.append(status.sent_at + self.retransmit_after)
+        for machine_id in self._outstanding_slaves():
+            if machine_id not in self.suspected:
+                seen = self.last_seen.get(machine_id, self.started_at)
+                candidates.append(seen + self.heartbeat_timeout)
+        return min(candidates) if candidates else None
+
+    def _outstanding_slaves(self) -> list[str]:
+        if self.done():
+            return []
+        return [
+            machine_id
+            for machine_id in self.waves[self.log.wave_index]
+            if not self.log.statuses[
+                work_key(self.log.wave_index, machine_id)
+            ].acked
+        ]
+
+    def retransmits(self) -> int:
+        return sum(
+            max(0, status.attempts - 1)
+            for status in self.log.statuses.values()
+        )
+
+
+@dataclass
+class BusChaos:
+    """The fault schedule of one bus-coordinated deployment.
+
+    Times are seconds after the deployment starts.  ``partition_slaves``
+    limits the partition to a subset of machine ids (``None`` cuts every
+    slave off the master); the crash fields arm a
+    :class:`_CrashFuse` on one slave agent.
+    """
+
+    partition_at: Optional[float] = None
+    partition_for: float = 30.0
+    partition_slaves: Optional[list[str]] = None
+    crash_machine: Optional[str] = None
+    crash_after_actions: int = 3
+    crash_down_for: float = 25.0
+    failover_at: Optional[float] = None
+
+
+@dataclass
+class BusReport(MultiHostReport):
+    """A :class:`MultiHostReport` plus the control-plane accounting."""
+
+    bus_stats: dict = field(default_factory=dict)
+    retransmits: int = 0
+    redundant_acks: int = 0
+    duplicate_acks: int = 0
+    work_executions: int = 0
+    work_resumes: int = 0
+    crashes: int = 0
+    suspects: list[dict] = field(default_factory=list)
+    rejoins: list[dict] = field(default_factory=list)
+    masters: list[str] = field(default_factory=list)
+    failover: Optional[dict] = None
+    partition: Optional[dict] = None
+
+    def summary(self) -> dict:
+        return {
+            "waves": self.waves,
+            "parallel_makespan_seconds": self.parallel_makespan_seconds,
+            "sequential_seconds": self.sequential_seconds,
+            "bus": self.bus_stats,
+            "retransmits": self.retransmits,
+            "redundant_acks": self.redundant_acks,
+            "duplicate_acks": self.duplicate_acks,
+            "work_executions": self.work_executions,
+            "work_resumes": self.work_resumes,
+            "crashes": self.crashes,
+            "suspects": self.suspects,
+            "rejoins": self.rejoins,
+            "masters": self.masters,
+            "failover": self.failover,
+            "partition": self.partition,
+        }
+
+
+class BusDeployment(MultiHostDeployment):
+    """A bus-coordinated deployment: slaves, report, and the bus."""
+
+    def __init__(
+        self,
+        spec: InstallSpec,
+        slaves: dict[str, DeployedSystem],
+        report: BusReport,
+        bus: MessageBus,
+    ) -> None:
+        super().__init__(spec, slaves, report)
+        self.report: BusReport = report
+        self.bus = bus
+
+    def merged_system(self, engine: DeploymentEngine) -> DeployedSystem:
+        """One :class:`DeployedSystem` over the full spec, adopted from
+        the merged journal frontier (for persistence / status)."""
+        from repro.runtime.state import adopt_states
+
+        merged = self.merged_journal()
+        system = engine.prepare(self.spec)
+        adopt_states(system, merged.states(), partial=True)
+        system.journal = merged
+        return system
+
+
+class BusCoordinator:
+    """Coordinates slave deployments over the message bus.
+
+    Equivalent in effect to :class:`MasterCoordinator` -- same waves,
+    same per-node sub-specs, same engines doing the work -- but every
+    hand-off crosses the bus, so partitions, slave crashes, and master
+    failover (a :class:`BusChaos` schedule) become scenarios the
+    deployment must survive rather than things it cannot express.
+    """
+
+    def __init__(
+        self,
+        registry: ResourceTypeRegistry,
+        infrastructure: Infrastructure,
+        driver_registry: Optional[DriverRegistry] = None,
+        *,
+        link_faults=None,
+        default_latency: float = 0.05,
+        heartbeat_every: float = 5.0,
+        heartbeat_timeout: float = 15.0,
+        retransmit_after: float = 10.0,
+        max_sim_seconds: float = 14400.0,
+    ) -> None:
+        self.registry = registry
+        self.infrastructure = infrastructure
+        self.driver_registry = driver_registry
+        self.link_faults = link_faults
+        self.default_latency = default_latency
+        self.heartbeat_every = heartbeat_every
+        self.heartbeat_timeout = heartbeat_timeout
+        self.retransmit_after = retransmit_after
+        self.max_sim_seconds = max_sim_seconds
+
+    def deploy(
+        self,
+        spec: InstallSpec,
+        *,
+        jobs: Optional[int] = None,
+        jobs_per_host: Optional[int] = None,
+        policy: Optional[RetryPolicy] = None,
+        chaos: Optional[BusChaos] = None,
+    ) -> BusDeployment:
+        chaos = chaos if chaos is not None else BusChaos()
+        clock = self.infrastructure.clock
+        tracer = self.infrastructure.tracer
+        per_node = split_spec(spec)
+        waves = machine_waves(spec)
+        bus = MessageBus(
+            clock,
+            default_latency=self.default_latency,
+            faults=self.link_faults,
+            tracer=tracer,
+        )
+        master = MasterNode(
+            "master", bus, waves, per_node,
+            retransmit_after=self.retransmit_after,
+            heartbeat_timeout=self.heartbeat_timeout,
+        )
+        masters = [master]
+        agents: dict[str, SlaveAgent] = {}
+        for machine_id in sorted(per_node):
+            crash_after = (
+                chaos.crash_after_actions
+                if machine_id == chaos.crash_machine else None
+            )
+            agents[machine_id] = SlaveAgent(
+                machine_id, self.registry, self.infrastructure,
+                self.driver_registry, bus,
+                master=master.name, policy=policy,
+                jobs=jobs, jobs_per_host=jobs_per_host,
+                heartbeat_every=self.heartbeat_every,
+                crash_after_actions=crash_after,
+                crash_down_for=chaos.crash_down_for,
+            )
+        started_at = clock.now
+        deadline = started_at + self.max_sim_seconds
+        events: list[tuple[float, str]] = []
+        if chaos.partition_at is not None:
+            events.append((started_at + chaos.partition_at, "partition"))
+            events.append(
+                (started_at + chaos.partition_at + chaos.partition_for,
+                 "heal"),
+            )
+        if chaos.failover_at is not None:
+            events.append((started_at + chaos.failover_at, "failover"))
+        events.sort()
+        partitioned = False
+        failover: Optional[dict] = None
+        partition_record: Optional[dict] = None
+        no_progress = 0
+        while True:
+            now = clock.now
+            while events and events[0][0] <= now:
+                _, kind = events.pop(0)
+                if kind == "partition":
+                    partitioned = True
+                    partition_record = {
+                        "at": now,
+                        "slaves": sorted(
+                            chaos.partition_slaves or list(agents)
+                        ),
+                        "for": chaos.partition_for,
+                    }
+                    self._apply_partition(bus, masters, agents, chaos)
+                    self._instant(tracer, "partition", now)
+                elif kind == "heal":
+                    partitioned = False
+                    bus.heal()
+                    self._instant(tracer, "heal", now)
+                elif kind == "failover":
+                    old = masters[-1]
+                    bus.close(old.name)
+                    standby = MasterNode(
+                        f"master-{len(masters) + 1}", bus, waves, per_node,
+                        log=old.log.clone(),
+                        retransmit_after=self.retransmit_after,
+                        heartbeat_timeout=self.heartbeat_timeout,
+                    )
+                    masters.append(standby)
+                    standby.adopt(now)
+                    failover = {"at": now, "master": standby.name}
+                    if partitioned:
+                        self._apply_partition(bus, masters, agents, chaos)
+                    self._instant(
+                        tracer, "failover", now, master=standby.name
+                    )
+            bus.deliver_due(now)
+            active = masters[-1]
+            active.step(now)
+            for machine_id in sorted(agents):
+                agents[machine_id].step(now)
+            if active.failures:
+                key, error = sorted(active.failures.items())[0]
+                raise DeploymentError(
+                    f"bus deployment failed: work {key} nacked: {error}"
+                )
+            if active.done():
+                break
+            candidates = [bus.next_time(), active.next_wake(now)]
+            candidates.extend(
+                agent.next_wake(now) for agent in agents.values()
+            )
+            if events:
+                candidates.append(events[0][0])
+            peek = clock.peek_next_event_time()
+            if peek is not None:
+                candidates.append(peek)
+            live = [c for c in candidates if c is not None]
+            if not live:
+                raise DeploymentError(
+                    "bus control plane stalled: nothing scheduled"
+                )
+            nxt = min(live)
+            if now >= deadline:
+                raise DeploymentError(
+                    "bus deployment did not converge within "
+                    f"{self.max_sim_seconds:.0f} simulated seconds"
+                )
+            if nxt <= now:
+                no_progress += 1
+                if no_progress > 10_000:
+                    raise DeploymentError(
+                        "bus control plane made no progress"
+                    )
+                nxt = now + 0.001
+            else:
+                no_progress = 0
+            clock.sync_to(nxt)
+        return self._finish(
+            spec, waves, bus, masters, agents, started_at,
+            failover, partition_record,
+        )
+
+    def _apply_partition(
+        self,
+        bus: MessageBus,
+        masters: list[MasterNode],
+        agents: dict[str, SlaveAgent],
+        chaos: BusChaos,
+    ) -> None:
+        affected = set(chaos.partition_slaves or list(agents))
+        master_side = [m.name for m in masters] + sorted(
+            machine_id for machine_id in agents if machine_id not in affected
+        )
+        bus.partition(master_side, sorted(affected))
+
+    def _instant(self, tracer, name: str, at: float, **args) -> None:
+        if tracer is not None:
+            tracer.instant(
+                name, category="bus-chaos", timestamp=at,
+                lane="coordinator", **args,
+            )
+            tracer.metrics.counter(f"bus.chaos.{name}").inc()
+
+    def _finish(
+        self,
+        spec: InstallSpec,
+        waves: list[list[str]],
+        bus: MessageBus,
+        masters: list[MasterNode],
+        agents: dict[str, SlaveAgent],
+        started_at: float,
+        failover: Optional[dict],
+        partition_record: Optional[dict],
+    ) -> BusDeployment:
+        report = BusReport(waves=waves)
+        slaves: dict[str, DeployedSystem] = {}
+        for machine_id in sorted(agents):
+            agent = agents[machine_id]
+            key = next(iter(agent.systems))
+            slaves[machine_id] = agent.systems[key]
+            report.per_machine_seconds[machine_id] = agent.total_seconds
+            report.agents_installed.extend(agent.agents_installed)
+            report.redundant_acks += agent.redundant_acks
+            report.work_executions += agent.work_executions
+            report.work_resumes += agent.work_resumes
+            report.crashes += agent.crashes
+        report.sequential_seconds = sum(
+            report.per_machine_seconds.values()
+        )
+        report.parallel_makespan_seconds = \
+            self.infrastructure.clock.now - started_at
+        report.bus_stats = bus.stats()
+        report.retransmits = masters[-1].retransmits()
+        for node in masters:
+            report.suspects.extend(node.suspects)
+            report.rejoins.extend(node.rejoins)
+            report.duplicate_acks += node.duplicate_acks
+        report.masters = [node.name for node in masters]
+        report.failover = failover
+        report.partition = partition_record
+        return BusDeployment(spec, slaves, report, bus)
+
+
+# ---------------------------------------------------------------------------
+# Equivalence fingerprints.
+#
+# "Bit-identical modulo pid": two runs are equivalent when their worlds
+# and journals agree on everything *observable* -- installed packages,
+# process names/states/ports, file trees and contents, per-instance
+# transition chains, completion partitions -- while pids, timestamps,
+# and restart counters (pure accidents of scheduling) are excluded.
+# The chaos corpus asserts faulted runs fingerprint-equal unfaulted
+# ones; strict byte-identity (same seed, same chaos) is asserted on the
+# bus delivery log itself.
+# ---------------------------------------------------------------------------
+
+
+def _canonical_driver_log(content: str) -> list[str]:
+    """Driver-log lines with timestamps stripped, sorted.
+
+    The engage driver log records wall-clock stamps and interleaves
+    machines' action orders, both of which legitimately differ between
+    a faulted and an unfaulted run; the *set* of transitions must not.
+    """
+    lines = []
+    for line in content.splitlines():
+        closing = line.find("]")
+        lines.append(line[closing + 1:].strip() if closing >= 0 else line)
+    return sorted(lines)
+
+
+def world_fingerprint(infrastructure: Infrastructure) -> str:
+    """A canonical digest of every machine's observable state."""
+    from repro.drivers.base import ResourceDriver
+
+    payload: dict[str, Any] = {}
+    for machine in infrastructure.network.machines():
+        manager = infrastructure.package_manager(machine)
+        packages = sorted(
+            (package.name, package.version, sorted(package.files))
+            for package in manager.installed()
+        )
+        processes = sorted(
+            (
+                process.name,
+                process.instance_id,
+                process.state.value,
+                sorted(process.listen_ports),
+            )
+            for process in machine.processes()
+        )
+        files: dict[str, Any] = {}
+        for path in sorted(machine.fs.walk_files()):
+            content = machine.fs.read_file(path)
+            if path == ResourceDriver.LOG_PATH:
+                files[path] = _canonical_driver_log(content)
+            else:
+                files[path] = hashlib.sha256(
+                    content.encode()
+                ).hexdigest()[:16]
+        payload[machine.hostname] = {
+            "packages": packages,
+            "processes": processes,
+            "files": files,
+        }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def canonical_journal(journal: DeploymentJournal) -> dict:
+    """The journal minus timestamps: per-instance transition chains
+    (order within an instance is meaningful; global interleaving is
+    not) plus the completion partitions."""
+    chains: dict[str, list[list[str]]] = {}
+    for entry in journal.entries:
+        chains.setdefault(entry.instance_id, []).append(
+            [entry.action, entry.source, entry.target]
+        )
+    return {
+        "target": journal.target,
+        "chains": {key: chains[key] for key in sorted(chains)},
+        "completed": sorted(journal.completed),
+        "failed": dict(sorted(journal.failed.items())),
+        "skipped": sorted(journal.skipped),
+    }
+
+
+def deployment_fingerprint(
+    infrastructure: Infrastructure,
+    deployment: MultiHostDeployment,
+) -> str:
+    """World + driver states + merged journal, canonically digested."""
+    payload = {
+        "world": world_fingerprint(infrastructure),
+        "states": dict(sorted(deployment.states().items())),
+        "journal": canonical_journal(deployment.merged_journal()),
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()

@@ -273,6 +273,33 @@ class DeploymentJournal:
         """
         self.entries.sort(key=lambda entry: entry.timestamp)
 
+    # -- Merging (multi-host fleets) -------------------------------------
+
+    @classmethod
+    def merged(
+        cls,
+        spec: InstallSpec,
+        journals: Iterable["DeploymentJournal"],
+        target: str = ACTIVE,
+    ) -> "DeploymentJournal":
+        """One fleet journal from per-slave journals.
+
+        Each slave journals its own sub-spec; since every instance lives
+        on exactly one slave, concatenating the entries and stable-
+        sorting by timestamp preserves each instance's chain while
+        restoring the global completion order.  The completed/failed/
+        skipped partitions union (disjoint across slaves for the same
+        reason).
+        """
+        journal = cls(spec, target=target)
+        for source in journals:
+            journal.entries.extend(source.entries)
+            journal.completed |= source.completed
+            journal.failed.update(source.failed)
+            journal.skipped |= source.skipped
+        journal.sort_entries_by_time()
+        return journal
+
     # -- Derived views ---------------------------------------------------
 
     def states(self) -> dict[str, str]:

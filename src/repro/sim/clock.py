@@ -141,6 +141,27 @@ class SimClock:
     def pending_events(self) -> int:
         return len(self._queue)
 
+    def peek_next_event_time(self) -> Optional[float]:
+        """The timestamp of the earliest scheduled event, without popping
+        it (``None`` when the queue is empty).  Control loops that share
+        the clock with the DAG scheduler use this to avoid jumping the
+        simulation past an event someone else scheduled."""
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def cancel_events(self) -> int:
+        """Drop every pending scheduled event; returns how many.
+
+        Used when the logical owner of the events dies mid-pass (a slave
+        agent crashing between actions abandons its in-flight completion
+        events) -- leaving them queued would leak into the next pass's
+        :meth:`advance_to_next_event` loop.
+        """
+        cancelled = len(self._queue)
+        self._queue.clear()
+        return cancelled
+
     def overlapping(self, start: Optional[float] = None) -> ClockSpan:
         """A span of work logically beginning at ``start`` (default now),
         overlapping whatever else is in flight.  Use as a context

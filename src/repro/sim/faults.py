@@ -256,6 +256,57 @@ class FaultPlan:
         return state.remaining if state is not None else 0
 
 
+class LinkFaultPlan:
+    """Deterministic per-message chaos for the simulated message bus.
+
+    The bus (:mod:`repro.runtime.bus`) asks :meth:`copies` what happens
+    to one transmission attempt: the answer is a list of extra-delay
+    offsets, one per copy that will actually arrive.  ``[]`` means the
+    message is dropped, ``[0.0]`` is a clean delivery, ``[0.0, 0.4]``
+    is a duplicate, and non-zero offsets (drawn up to ``jitter``
+    seconds) reorder messages relative to their send order.
+
+    Decisions come from ``Random(f"{seed}|{site}|{attempt}")`` where the
+    site is ``<kind>:<src>-><dst>:<dedup key>`` -- a pure function of
+    the message, never of call order, which is what makes chaos runs
+    (and their retransmissions: each attempt draws independently)
+    replayable bit for bit.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        jitter: float = 0.0,
+        include: Sequence[str] = ("*",),
+    ) -> None:
+        for name, rate in (("drop", drop), ("duplicate", duplicate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if jitter < 0.0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        self.seed = seed
+        self.drop = drop
+        self.duplicate = duplicate
+        self.jitter = jitter
+        self.include = tuple(include)
+
+    def copies(self, site: str, attempt: int) -> list[float]:
+        """Extra-delay offsets for each arriving copy of one send."""
+        if not any(fnmatchcase(site, p) for p in self.include):
+            return [0.0]
+        rng = random.Random(f"{self.seed}|{site}|{attempt}")
+        if rng.random() < self.drop:
+            return []
+        delays = [rng.random() * self.jitter if self.jitter > 0.0 else 0.0]
+        if rng.random() < self.duplicate:
+            spread = self.jitter if self.jitter > 0.0 else 1.0
+            delays.append(rng.random() * spread)
+        return delays
+
+
 class FaultyWorld:
     """Installs a :class:`FaultPlan` onto an infrastructure.
 

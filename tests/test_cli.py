@@ -248,3 +248,81 @@ class TestDeploy:
         code, output = run(["deploy", str(path)])
         assert code == 2
         assert "cannot be deployed together" in output
+
+TWO_NODE = json.dumps(
+    [
+        {"id": "appnode", "key": "Ubuntu-Linux 10.04",
+         "config_port": {"hostname": "app1"}},
+        {"id": "dbnode", "key": "Ubuntu-Linux 10.04",
+         "config_port": {"hostname": "db1"}},
+        {"id": "tomcat", "key": "Tomcat 6.0.18",
+         "inside": {"id": "appnode"}},
+        {"id": "openmrs", "key": "OpenMRS 1.8", "inside": {"id": "tomcat"}},
+        {"id": "db", "key": "MySQL 5.1", "inside": {"id": "dbnode"}},
+    ]
+)
+
+
+@pytest.fixture
+def two_node_file(tmp_path):
+    path = tmp_path / "two_node.json"
+    path.write_text(TWO_NODE)
+    return str(path)
+
+
+class TestBusDeploy:
+    def test_bus_deploy(self, two_node_file):
+        code, output = run(["deploy", two_node_file, "--bus"])
+        assert code == 0
+        assert "bus:" in output
+        assert "masters: master" in output
+        assert output.count("active") == 6
+
+    def test_bus_failover(self, two_node_file):
+        code, output = run(
+            ["deploy", two_node_file, "--bus", "--failover-at", "30"]
+        )
+        assert code == 0
+        assert "masters: master, master-2" in output
+        assert "failover: master-2 adopted at 30.0s" in output
+
+    def test_bus_partition(self, two_node_file):
+        code, output = run(
+            ["deploy", two_node_file, "--bus",
+             "--partition-at", "2", "--partition-for", "120"]
+        )
+        assert code == 0
+        assert "partition: at 2.0s for 120.0s" in output
+        assert "lost to partitions" in output
+
+    def test_bus_crash_slave(self, two_node_file):
+        code, output = run(
+            ["deploy", two_node_file, "--bus",
+             "--crash-slave", "dbnode", "--crash-after", "2",
+             "--rejoin-after", "40"]
+        )
+        assert code == 0
+        assert "1 crash(es)" in output
+        assert output.count("active") == 6
+
+    def test_bus_chaos_links(self, two_node_file):
+        code, output = run(
+            ["deploy", two_node_file, "--bus", "--bus-seed", "7",
+             "--bus-drop", "0.1", "--bus-dup", "0.1",
+             "--bus-jitter", "1.0"]
+        )
+        assert code == 0
+        assert output.count("active") == 6
+
+    def test_bus_save_round_trips_through_status(
+        self, two_node_file, tmp_path
+    ):
+        bundle = tmp_path / "bundle.json"
+        code, output = run(
+            ["deploy", two_node_file, "--bus", "--save", str(bundle)]
+        )
+        assert code == 0
+        assert "bundle saved" in output
+        code, output = run(["status", str(bundle)])
+        assert code == 0
+        assert "6 instances on 2 machine(s)" in output

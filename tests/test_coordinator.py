@@ -245,3 +245,56 @@ class TestMasterCoordinator:
         from repro.drivers import INACTIVE
 
         assert set(deployment.states().values()) == {INACTIVE}
+
+
+class TestWaveFailureKeepsSiblings:
+    """Regression: a slave failing mid-wave used to raise the bare
+    :class:`DeploymentFailure` out of the wave loop, discarding every
+    sibling slave's journal and system -- the caller could not tell
+    what the fleet had actually done, let alone resume it."""
+
+    def test_failed_wave_preserves_completed_siblings(
+        self, registry, infrastructure, drivers, two_node_spec
+    ):
+        from repro.runtime import MultiHostDeploymentFailure
+        from repro.sim import FaultPlan, FaultyWorld
+
+        FaultyWorld(
+            infrastructure,
+            FaultPlan().on("driver:openmrs:install", times=100),
+        )
+        coordinator = MasterCoordinator(registry, infrastructure, drivers)
+        with pytest.raises(MultiHostDeploymentFailure) as exc_info:
+            coordinator.deploy(two_node_spec)
+        failure = exc_info.value
+        assert failure.failed_machine == "appnode"
+        assert failure.unstarted == []
+        # Wave 1's slave survived intact: its journal is complete and
+        # its system is still in the fleet view.
+        deployment = failure.deployment
+        assert "dbnode" in deployment.slaves
+        assert deployment.slaves["dbnode"].journal.is_complete()
+        assert deployment.states()["db"] == "active"
+        # The failing slave's partial frontier is there too, so a
+        # resume can pick up exactly where the fleet stopped.
+        assert "appnode" in deployment.slaves
+        merged = deployment.merged_journal()
+        ids = {entry.instance_id for entry in merged.entries}
+        assert "db" in ids and "openmrs" not in ids
+
+    def test_wave_one_failure_reports_unstarted_machines(
+        self, registry, infrastructure, drivers, two_node_spec
+    ):
+        from repro.runtime import MultiHostDeploymentFailure
+        from repro.sim import FaultPlan, FaultyWorld
+
+        FaultyWorld(
+            infrastructure,
+            FaultPlan().on("driver:db:install", times=100),
+        )
+        coordinator = MasterCoordinator(registry, infrastructure, drivers)
+        with pytest.raises(MultiHostDeploymentFailure) as exc_info:
+            coordinator.deploy(two_node_spec)
+        failure = exc_info.value
+        assert failure.failed_machine == "dbnode"
+        assert failure.unstarted == ["appnode"]

@@ -1,0 +1,340 @@
+"""Chaos equivalence for the bus control plane.
+
+The one theorem this file is about: **a deployment driven over the
+message bus ends indistinguishable from an unfaulted one** -- same
+world (packages, processes, files), same driver states, same journal
+chains -- no matter what the chaos schedule did: network partitions
+between master and slaves, a slave crash mid-deploy with later rejoin,
+or a master failover that re-adopts the control log.  "Indistinguish-
+able" is :func:`repro.runtime.coordinator.deployment_fingerprint`:
+bit-identical modulo pids and timestamps.
+
+Tier-1 runs a smoke slice of every scenario; the full seed corpus
+(100 failover seeds plus partition/crash sweeps, crossed with ``jobs``)
+carries the ``fuzz`` mark and runs in the CI ``bus-chaos`` job.
+"""
+
+import pytest
+
+from repro.config import ConfigurationEngine
+from repro.core import PartialInstallSpec, PartialInstance, as_key
+from repro.library import (
+    standard_drivers,
+    standard_infrastructure,
+    standard_registry,
+)
+from repro.runtime import (
+    BusChaos,
+    BusCoordinator,
+    DeploymentJournal,
+    MasterCoordinator,
+    deployment_fingerprint,
+    provision_partial_spec,
+)
+from repro.sim.faults import LinkFaultPlan
+
+FAILOVER_SEEDS = range(100)
+PARTITION_SEEDS = range(50)
+CRASH_SEEDS = range(50)
+
+SMOKE_FAILOVER = range(6)
+SMOKE_PARTITION = range(4)
+SMOKE_CRASH = range(4)
+
+
+@pytest.fixture(scope="module")
+def chaos_registry():
+    return standard_registry()
+
+
+@pytest.fixture(scope="module")
+def two_node(chaos_registry):
+    """A two-wave spec (db wave, then app wave), configured once; each
+    run deploys it into a fresh infrastructure."""
+    infrastructure = standard_infrastructure()
+    partial = PartialInstallSpec(
+        [
+            PartialInstance("appnode", as_key("Ubuntu-Linux 10.04"),
+                            config={"hostname": "app1"}),
+            PartialInstance("dbnode", as_key("Ubuntu-Linux 10.04"),
+                            config={"hostname": "db1"}),
+            PartialInstance("tomcat", as_key("Tomcat 6.0.18"),
+                            inside_id="appnode"),
+            PartialInstance("openmrs", as_key("OpenMRS 1.8"),
+                            inside_id="tomcat"),
+            PartialInstance("db", as_key("MySQL 5.1"), inside_id="dbnode"),
+        ]
+    )
+    partial = provision_partial_spec(
+        chaos_registry, partial, infrastructure
+    )
+    return ConfigurationEngine(chaos_registry).configure(partial).spec
+
+
+def bus_deploy(registry, spec, *, chaos=None, faults=None, jobs=None):
+    infrastructure = standard_infrastructure()
+    coordinator = BusCoordinator(
+        registry, infrastructure, standard_drivers(), link_faults=faults
+    )
+    deployment = coordinator.deploy(spec, chaos=chaos, jobs=jobs)
+    return infrastructure, deployment
+
+
+@pytest.fixture(scope="module")
+def baseline(chaos_registry, two_node):
+    """Fingerprint of the unfaulted bus deployment -- what every chaos
+    run must converge to."""
+    infrastructure, deployment = bus_deploy(chaos_registry, two_node)
+    assert deployment.is_deployed()
+    return deployment_fingerprint(infrastructure, deployment)
+
+
+def jobs_for(seed):
+    """Cross the corpus with intra-machine parallelism."""
+    return None if seed % 2 == 0 else 2
+
+
+def partition_chaos(seed):
+    return BusChaos(
+        partition_at=1.0 + (seed % 7) * 9.0,
+        partition_for=20.0 + (seed % 5) * 35.0,
+        partition_slaves=None if seed % 3 else ["dbnode"],
+    )
+
+
+def crash_chaos(seed):
+    return BusChaos(
+        crash_machine="dbnode" if seed % 2 == 0 else "appnode",
+        crash_after_actions=1 + seed % 5,
+        crash_down_for=10.0 + (seed % 4) * 20.0,
+    )
+
+
+def failover_chaos(seed):
+    return BusChaos(failover_at=2.0 + (seed % 20) * 12.0)
+
+
+def link_faults(seed):
+    """Every third seed also runs under link chaos, so the scenarios
+    compose with drops/duplicates/reorders."""
+    if seed % 3 != 0:
+        return None
+    return LinkFaultPlan(seed, drop=0.1, duplicate=0.1, jitter=1.0)
+
+
+def assert_converged(registry, spec, baseline_fp, *, chaos, seed):
+    infrastructure, deployment = bus_deploy(
+        registry, spec, chaos=chaos,
+        faults=link_faults(seed), jobs=jobs_for(seed),
+    )
+    assert deployment.is_deployed(), f"seed {seed}"
+    assert (
+        deployment_fingerprint(infrastructure, deployment) == baseline_fp
+    ), f"seed {seed} diverged from the unfaulted run"
+    # The merged journal must survive the strict round-trip validation
+    # (chained per-instance entries, disjoint partitions): double
+    # applies would break the chains.
+    merged = deployment.merged_journal()
+    DeploymentJournal.from_payload(deployment.spec, merged.to_payload())
+    assert merged.is_complete()
+    return deployment
+
+
+class TestBusMatchesDirect:
+    """The bus control plane is a refactor, not a rewrite: its effect
+    equals the direct in-process coordinator's."""
+
+    def test_same_fingerprint_as_direct(
+        self, chaos_registry, two_node, baseline
+    ):
+        infrastructure = standard_infrastructure()
+        coordinator = MasterCoordinator(
+            chaos_registry, infrastructure, standard_drivers()
+        )
+        deployment = coordinator.deploy(two_node)
+        assert deployment.is_deployed()
+        assert (
+            deployment_fingerprint(infrastructure, deployment) == baseline
+        )
+
+    def test_jobs_invariant(self, chaos_registry, two_node, baseline):
+        infrastructure, deployment = bus_deploy(
+            chaos_registry, two_node, jobs=2
+        )
+        assert (
+            deployment_fingerprint(infrastructure, deployment) == baseline
+        )
+
+    def test_exactly_one_execution_per_machine(
+        self, chaos_registry, two_node
+    ):
+        _, deployment = bus_deploy(chaos_registry, two_node)
+        report = deployment.report
+        assert report.work_executions == len(deployment.slaves)
+        assert report.work_resumes == 0
+        assert report.retransmits == 0
+        assert report.masters == ["master"]
+
+
+class TestPartitionSmoke:
+    @pytest.mark.parametrize("seed", SMOKE_PARTITION)
+    def test_partition_converges(
+        self, chaos_registry, two_node, baseline, seed
+    ):
+        deployment = assert_converged(
+            chaos_registry, two_node, baseline,
+            chaos=partition_chaos(seed), seed=seed,
+        )
+        assert deployment.report.partition is not None
+
+    def test_partition_stalls_then_resumes_without_double_apply(
+        self, chaos_registry, two_node, baseline
+    ):
+        """A long full partition: work for the second wave cannot cross
+        until heal, the master retransmits into the void, and on heal
+        the dedup keys make every late duplicate a cache hit."""
+        chaos = BusChaos(partition_at=1.0, partition_for=300.0)
+        infrastructure, deployment = bus_deploy(
+            chaos_registry, two_node, chaos=chaos
+        )
+        report = deployment.report
+        assert report.bus_stats["partition_losses"] > 0
+        assert report.retransmits > 0
+        # Exactly-once effect: each machine's deploy ran once, no matter
+        # how many work copies eventually arrived.
+        assert report.work_executions == len(deployment.slaves)
+        assert report.work_resumes == 0
+        assert (
+            deployment_fingerprint(infrastructure, deployment) == baseline
+        )
+        # Recovery costs wall-clock: the makespan covers the partition.
+        assert report.parallel_makespan_seconds >= 300.0
+
+    def test_partitioned_slave_suspected(self, chaos_registry, two_node):
+        chaos = BusChaos(partition_at=1.0, partition_for=120.0)
+        _, deployment = bus_deploy(chaos_registry, two_node, chaos=chaos)
+        suspected = {s["machine"] for s in deployment.report.suspects}
+        assert "dbnode" in suspected
+
+
+class TestSlaveCrashSmoke:
+    @pytest.mark.parametrize("seed", SMOKE_CRASH)
+    def test_crash_rejoin_converges(
+        self, chaos_registry, two_node, baseline, seed
+    ):
+        deployment = assert_converged(
+            chaos_registry, two_node, baseline,
+            chaos=crash_chaos(seed), seed=seed,
+        )
+        report = deployment.report
+        assert report.crashes == 1
+        assert report.work_resumes >= 1
+        assert report.rejoins
+
+    def test_master_redrives_only_unacked_frontier(
+        self, chaos_registry, two_node, baseline
+    ):
+        """The crashed slave resumes from its write-ahead journal: the
+        resumed pass re-drives only what the journal's frontier lacks,
+        and the other slave's completed work is never re-sent as new
+        executions."""
+        chaos = BusChaos(
+            crash_machine="dbnode", crash_after_actions=2,
+            crash_down_for=30.0,
+        )
+        infrastructure, deployment = bus_deploy(
+            chaos_registry, two_node, chaos=chaos
+        )
+        report = deployment.report
+        # dbnode: one aborted execution + one resume; appnode: one.
+        assert report.work_executions == 2
+        assert report.work_resumes == 1
+        journal = deployment.slaves["dbnode"].journal
+        # The resumed journal kept the pre-crash entries: entry chains
+        # validate and nothing was journalled twice.
+        DeploymentJournal.from_payload(journal.spec, journal.to_payload())
+        assert (
+            deployment_fingerprint(infrastructure, deployment) == baseline
+        )
+
+
+class TestMasterFailoverSmoke:
+    @pytest.mark.parametrize("seed", SMOKE_FAILOVER)
+    def test_failover_converges(
+        self, chaos_registry, two_node, baseline, seed
+    ):
+        deployment = assert_converged(
+            chaos_registry, two_node, baseline,
+            chaos=failover_chaos(seed), seed=seed,
+        )
+        assert deployment.report.masters[-1] == "master-2"
+
+    def test_standby_adopts_frontier_without_rerunning(
+        self, chaos_registry, two_node, baseline
+    ):
+        """Failover lands mid-deploy: the standby clones the control
+        log, re-sends only unacked work, and completed actions never
+        run again -- each machine's deploy executed exactly once."""
+        chaos = BusChaos(failover_at=30.0)
+        infrastructure, deployment = bus_deploy(
+            chaos_registry, two_node, chaos=chaos
+        )
+        report = deployment.report
+        assert report.masters == ["master", "master-2"]
+        assert report.work_executions == len(deployment.slaves)
+        assert report.work_resumes == 0
+        assert report.crashes == 0
+        assert (
+            deployment_fingerprint(infrastructure, deployment) == baseline
+        )
+
+    def test_replay_is_byte_identical(self, chaos_registry, two_node):
+        """Same seed, same chaos: the delivery logs match byte for
+        byte (the determinism the corpus rests on)."""
+        def run():
+            return bus_deploy(
+                chaos_registry, two_node,
+                chaos=failover_chaos(3),
+                faults=LinkFaultPlan(3, drop=0.1, duplicate=0.1,
+                                     jitter=1.0),
+            )[1]
+
+        assert run().bus.delivery_log() == run().bus.delivery_log()
+
+
+@pytest.mark.fuzz
+class TestChaosCorpus:
+    """The full seed x jobs corpus (CI ``bus-chaos`` job)."""
+
+    @pytest.mark.parametrize("seed", FAILOVER_SEEDS)
+    def test_failover(self, chaos_registry, two_node, baseline, seed):
+        assert_converged(
+            chaos_registry, two_node, baseline,
+            chaos=failover_chaos(seed), seed=seed,
+        )
+
+    @pytest.mark.parametrize("seed", PARTITION_SEEDS)
+    def test_partition(self, chaos_registry, two_node, baseline, seed):
+        assert_converged(
+            chaos_registry, two_node, baseline,
+            chaos=partition_chaos(seed), seed=seed,
+        )
+
+    @pytest.mark.parametrize("seed", CRASH_SEEDS)
+    def test_crash(self, chaos_registry, two_node, baseline, seed):
+        assert_converged(
+            chaos_registry, two_node, baseline,
+            chaos=crash_chaos(seed), seed=seed,
+        )
+
+    @pytest.mark.parametrize("seed", range(0, 40, 5))
+    def test_compound_crash_during_partition(
+        self, chaos_registry, two_node, baseline, seed
+    ):
+        """Crash and partition in the same run still converge."""
+        chaos = crash_chaos(seed)
+        chaos.partition_at = 2.0 + (seed % 5) * 10.0
+        chaos.partition_for = 40.0
+        assert_converged(
+            chaos_registry, two_node, baseline, chaos=chaos, seed=seed,
+        )
